@@ -1,0 +1,182 @@
+// Command sod2 is the reproduction's CLI: it compiles and runs the ten
+// evaluation models through the full SoD² pipeline and exposes the
+// intermediate artifacts (RDP analysis, fusion plan, execution plan).
+//
+// Usage:
+//
+//	sod2 models                         # list the ten evaluation models
+//	sod2 analyze -model CodeBERT        # dump the RDP fixed point
+//	sod2 compile -model YOLO-V6         # fusion/plan/MVC summary
+//	sod2 run -model SkipNet -size 256   # execute one inference + report
+//	sod2 dot -model DGNet               # Graphviz rendering of the graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/frameworks"
+	"repro/internal/models"
+	"repro/internal/ops"
+	"repro/internal/rdp"
+	"repro/internal/workload"
+
+	sod2 "repro"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|dot|export|classify> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	modelName := fs.String("model", "CodeBERT", "model name (see `sod2 models`)")
+	size := fs.Int64("size", 0, "dynamic input extent (0 = model minimum)")
+	gate := fs.Float64("gate", 0.5, "control-flow gate activity in [0,1]")
+	device := fs.String("device", "sd888-cpu", "device profile: sd888-cpu|sd888-gpu|sd835-cpu|sd835-gpu")
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "models":
+		listModels()
+	case "analyze":
+		withModel(*modelName, analyzeCmd)
+	case "compile":
+		withModel(*modelName, compileCmd)
+	case "run":
+		runCmd(*modelName, *size, float32(*gate), *device)
+	case "dot":
+		withModel(*modelName, func(b *models.Builder) {
+			fmt.Print(b.Build().DOT())
+		})
+	case "export":
+		withModel(*modelName, func(b *models.Builder) {
+			if err := b.Build().WriteJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+		})
+	case "classify":
+		classifyCmd()
+	default:
+		usage()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sod2: %v\n", err)
+	os.Exit(1)
+}
+
+func withModel(name string, f func(b *models.Builder)) {
+	b, ok := models.Get(name)
+	if !ok {
+		fail(fmt.Errorf("unknown model %q", name))
+	}
+	f(b)
+}
+
+// classifyCmd prints the operator registry grouped by dynamism class —
+// this repository's rendering of the paper's Table 2.
+func classifyCmd() {
+	byClass := map[ops.DynClass][]string{}
+	for _, t := range ops.Types() {
+		byClass[ops.ClassOf(t)] = append(byClass[ops.ClassOf(t)], t)
+	}
+	for c := ops.ISDO; c <= ops.EDO; c++ {
+		fmt.Printf("%s (%d ops):\n", c, len(byClass[c]))
+		for _, t := range byClass[c] {
+			fmt.Printf("  %s\n", t)
+		}
+	}
+}
+
+func listModels() {
+	fmt.Printf("%-18s %-5s %-11s %s\n", "MODEL", "DYN", "INPUT", "SIZE RANGE")
+	for _, b := range models.All() {
+		fmt.Printf("%-18s %-5s %-11s %d–%d (step %d)\n",
+			b.Name, b.Dynamism, b.Kind, b.MinSize, b.MaxSize, b.SizeStep)
+	}
+}
+
+func analyzeCmd(b *models.Builder) {
+	g := b.Build()
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.Dump())
+	st := res.Statistics()
+	fmt.Printf("\n%d tensors, %.1f%% resolved, %d iterations, %d backward-resolved\n",
+		st.Total, st.ResolvedFraction()*100, res.Iterations, res.BackwardResolved)
+	classes := make([]rdp.DimClass, 0, len(st.ByClass))
+	for c := range st.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fmt.Printf("  %-12s %d\n", c, st.ByClass[c])
+	}
+}
+
+func compileCmd(b *models.Builder) {
+	c, err := frameworks.Compile(b)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model %s: %d ops (%d incl. subgraphs)\n", b.Name, len(c.Graph.Nodes), c.Graph.NumOps())
+	fmt.Printf("fusion (RDP):    %d groups, %d internal tensors eliminated\n",
+		len(c.FusionRDP.Groups), len(c.FusionRDP.Internal))
+	fmt.Printf("fusion (static): %d groups\n", len(c.FusionStatic.Groups))
+	fmt.Printf("execution plan:  %d sub-graphs, est. peak %d bytes\n",
+		len(c.ExecPlan.Subgraphs), c.ExecPlan.PeakBytes)
+	for _, sg := range c.ExecPlan.Subgraphs {
+		fmt.Printf("  sub-graph %2d: %2d ops, %-16s versions=%d method=%s\n",
+			sg.ID, len(sg.Nodes), sg.Class, sg.Versions, sg.Method)
+	}
+	fmt.Printf("MVC: %d hotspot ops, %d total code versions\n",
+		len(c.MVCPlan.Hotspots), c.MVCPlan.TotalVersions)
+}
+
+func runCmd(name string, size int64, gate float32, device string) {
+	b, ok := models.Get(name)
+	if !ok {
+		fail(fmt.Errorf("unknown model %q", name))
+	}
+	if size == 0 {
+		size = b.MinSize
+	}
+	dev := sod2.SD888CPU
+	switch device {
+	case "sd888-gpu":
+		dev = sod2.SD888GPU
+	case "sd835-cpu":
+		dev = sod2.SD835CPU
+	case "sd835-gpu":
+		dev = sod2.SD835GPU
+	}
+	c, err := sod2.Compile(b)
+	if err != nil {
+		fail(err)
+	}
+	s := workload.Fixed(b, 1, size, gate, 42)[0]
+	out, rep, err := c.InferOn(s.Inputs, dev)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model=%s size=%d gate=%.2f device=%s\n", name, size, gate, dev.Name)
+	fmt.Printf("latency: %.3f ms   peak memory: %.2f MB\n", rep.LatencyMS,
+		float64(rep.PeakMemBytes)/(1<<20))
+	for phase, ms := range rep.Phases {
+		fmt.Printf("  %-10s %.3f ms\n", phase, ms)
+	}
+	for name, t := range out {
+		fmt.Printf("output %s: %v\n", name, t.Shape)
+	}
+}

@@ -1,0 +1,135 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+)
+
+func TestOpCostRoofline(t *testing.T) {
+	d := SD888CPU
+	// Compute-bound: many flops, few bytes.
+	cb := d.OpCost(28e9, 16, 1) // exactly one second of compute
+	if cb < 0.99e6 || cb > 1.01e6 {
+		t.Errorf("compute-bound = %f µs", cb)
+	}
+	// Memory-bound: few flops, many bytes.
+	mb := d.OpCost(16, 18e9, 1)
+	if mb < 0.99e6 || mb > 1.01e6 {
+		t.Errorf("memory-bound = %f µs", mb)
+	}
+	// Efficiency scales inversely.
+	if d.OpCost(28e9, 16, 2) >= cb {
+		t.Error("higher efficiency should cost less")
+	}
+	// Zero/negative efficiency treated as 1.
+	if d.OpCost(100, 100, 0) != d.OpCost(100, 100, 1) {
+		t.Error("eff=0 should behave as 1")
+	}
+}
+
+func TestDeviceOrdering(t *testing.T) {
+	if SD835CPU.GFlops >= SD888CPU.GFlops || SD835GPU.GFlops >= SD888GPU.GFlops {
+		t.Error("sd835 should be slower")
+	}
+	if !SD888GPU.IsGPU || SD888CPU.IsGPU {
+		t.Error("IsGPU flags")
+	}
+	if SD888GPU.DispatchUS <= SD888CPU.DispatchUS {
+		t.Error("GPU dispatch should exceed CPU")
+	}
+}
+
+func TestMemPressure(t *testing.T) {
+	d := SD888CPU
+	if d.MemPressure(d.CacheBytes/2) != 1.0 {
+		t.Error("in-cache working set should have no penalty")
+	}
+	p1 := d.MemPressure(2 * d.CacheBytes)
+	p2 := d.MemPressure(8 * d.CacheBytes)
+	if p1 <= 1.0 || p2 <= p1 {
+		t.Errorf("pressure not monotone: %f, %f", p1, p2)
+	}
+	if d.MemPressure(1<<40) > 2.0 {
+		t.Error("pressure should be capped")
+	}
+	if (Device{}).MemPressure(1<<40) != 1.0 {
+		t.Error("no cache size → no penalty")
+	}
+}
+
+func TestReinitShape(t *testing.T) {
+	cpu := SD888CPU.Reinit(100, 50<<20)
+	gpu := SD888GPU.Reinit(100, 50<<20)
+	if gpu.Total() <= cpu.Total() {
+		t.Errorf("GPU reinit %.1f should exceed CPU %.1f", gpu.Total(), cpu.Total())
+	}
+	if gpu.AllocMS <= cpu.AllocMS {
+		t.Error("GPU alloc phase should dominate (Table 1)")
+	}
+	if cpu.Total() <= 0 {
+		t.Error("reinit must cost something")
+	}
+}
+
+func traceOf(events ...exec.OpEvent) exec.Trace { return exec.Trace{Events: events} }
+
+func addEvent(skipped bool) exec.OpEvent {
+	n := &graph.Node{Name: "a", OpType: "Add", Attrs: map[string]graph.AttrValue{}}
+	return exec.OpEvent{
+		Node: n, OpType: "Add",
+		InShapes:  [][]int64{{1024}, {1024}},
+		OutShapes: [][]int64{{1024}},
+		OutNames:  []string{"y"},
+		OutBytes:  []int64{4096},
+		Skipped:   skipped,
+	}
+}
+
+func TestTraceCostSkipsAndGroups(t *testing.T) {
+	d := SD888CPU
+	tr := traceOf(addEvent(false), addEvent(false))
+	base := d.TraceCost(tr, TraceCostOptions{})
+	// Skipped ops cost nothing.
+	withSkip := d.TraceCost(traceOf(addEvent(false), addEvent(true)), TraceCostOptions{})
+	if withSkip >= base {
+		t.Errorf("skip=%.3f base=%.3f", withSkip, base)
+	}
+	// Same fused group → one dispatch.
+	grouped := d.TraceCost(tr, TraceCostOptions{GroupOf: func(*graph.Node) int { return 1 }})
+	if grouped >= base {
+		t.Errorf("grouped=%.3f base=%.3f", grouped, base)
+	}
+	if base-grouped < d.DispatchUS*0.9 {
+		t.Errorf("group should save one dispatch: %f", base-grouped)
+	}
+	// Internal bytes reduce the memory term.
+	internal := d.TraceCost(tr, TraceCostOptions{
+		InternalBytes: func(exec.OpEvent) int64 { return 1 << 40 },
+	})
+	if internal >= base {
+		t.Error("internal bytes should reduce cost")
+	}
+}
+
+func TestEventCost(t *testing.T) {
+	d := SD888CPU
+	if d.EventCost(addEvent(true), 1) != 0 {
+		t.Error("skipped event should be free")
+	}
+	c1 := d.EventCost(addEvent(false), 1)
+	c2 := d.EventCost(addEvent(false), 2)
+	if c2 >= c1 {
+		t.Error("efficiency should reduce event cost")
+	}
+	// Unknown op type falls back to the default cost.
+	unk := exec.OpEvent{
+		Node:      &graph.Node{Name: "u", OpType: "Mystery", Attrs: map[string]graph.AttrValue{}},
+		OpType:    "Mystery",
+		OutShapes: [][]int64{{16}},
+	}
+	if d.EventCost(unk, 1) <= 0 {
+		t.Error("unknown op should still have cost")
+	}
+}

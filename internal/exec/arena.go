@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Arena is a runtime memory-allocation plan realized as one backing
+// buffer: float32 intermediates whose offsets were planned are stored at
+// their assigned positions instead of individually allocated. This is
+// the execution-time half of SoD²'s dynamic memory planning (§4.4.1) —
+// and running with it validates the plan end to end: if two
+// concurrently-live tensors were assigned overlapping ranges, the model
+// outputs would be corrupted.
+type Arena struct {
+	// Offsets maps value names to byte offsets in the arena.
+	Offsets map[string]int64
+	// Size is the arena's byte size.
+	Size int64
+
+	buf []float32
+}
+
+// NewArena allocates the backing store for a plan.
+func NewArena(offsets map[string]int64, size int64) *Arena {
+	return &Arena{Offsets: offsets, Size: size, buf: make([]float32, (size+3)/4)}
+}
+
+// place copies a freshly produced tensor into its planned slot and
+// returns the arena-backed view; tensors without a slot (dynamic
+// fallback: ⊥-shaped values, non-float tensors) pass through unchanged.
+func (a *Arena) place(name string, t *tensor.Tensor) (*tensor.Tensor, error) {
+	if a == nil || t == nil || t.DType != tensor.Float32 {
+		return t, nil
+	}
+	off, ok := a.Offsets[name]
+	if !ok {
+		return t, nil
+	}
+	n := t.Len()
+	if off%4 != 0 {
+		return nil, fmt.Errorf("exec: arena offset %d for %s not aligned", off, name)
+	}
+	start := off / 4
+	if start+n > int64(len(a.buf)) {
+		return nil, fmt.Errorf("exec: %s [%d,%d) exceeds arena of %d floats", name, start, start+n, len(a.buf))
+	}
+	dst := a.buf[start : start+n]
+	copy(dst, t.F)
+	return &tensor.Tensor{DType: tensor.Float32, Shape: t.Shape, F: dst}, nil
+}

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/tensor"
+)
+
+// Failure injection: malformed graphs and runtime shape violations must
+// surface as errors, never as panics or silent corruption.
+
+func TestKernelErrorPropagates(t *testing.T) {
+	g := graph.New("bad")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(2, 3))
+	g.AddInput("y", tensor.Float32, lattice.FromInts(4, 5))
+	g.Op("MatMul", "mm", []string{"x", "y"}, []string{"z"}, nil) // inner dims mismatch
+	g.AddOutput("z")
+	_, err := Run(g, map[string]*tensor.Tensor{
+		"x": tensor.New(tensor.Float32, 2, 3),
+		"y": tensor.New(tensor.Float32, 4, 5),
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "MatMul") {
+		t.Errorf("want MatMul shape error, got %v", err)
+	}
+}
+
+func TestUnknownOpErrors(t *testing.T) {
+	g := graph.New("unknown")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(2))
+	g.Op("FancyCustomOp", "f", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	_, err := Run(g, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 2)}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "no kernel") {
+		t.Errorf("want no-kernel error, got %v", err)
+	}
+}
+
+func TestBroadcastViolationErrors(t *testing.T) {
+	g := graph.New("bcast")
+	g.AddInput("a", tensor.Float32, lattice.FromInts(3))
+	g.AddInput("b", tensor.Float32, lattice.FromInts(4))
+	g.Op("Add", "add", []string{"a", "b"}, []string{"c"}, nil)
+	g.AddOutput("c")
+	_, err := Run(g, map[string]*tensor.Tensor{
+		"a": tensor.New(tensor.Float32, 3),
+		"b": tensor.New(tensor.Float32, 4),
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "broadcast") {
+		t.Errorf("want broadcast error, got %v", err)
+	}
+}
+
+func TestIfMissingBranchErrors(t *testing.T) {
+	g := graph.New("noif")
+	g.AddInput("c", tensor.Bool, lattice.FromInts())
+	g.AddInput("x", tensor.Float32, lattice.FromInts(1))
+	g.Op("If", "if1", []string{"c", "x"}, []string{"y"}, nil) // no branches
+	g.AddOutput("y")
+	_, err := Run(g, map[string]*tensor.Tensor{
+		"c": tensor.ScalarBool(true), "x": tensor.New(tensor.Float32, 1)}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "missing branches") {
+		t.Errorf("want missing-branches error, got %v", err)
+	}
+}
+
+func TestLoopMissingBodyErrors(t *testing.T) {
+	g := graph.New("noloop")
+	g.AddInitializer("trip", tensor.ScalarInt(1))
+	g.AddInitializer("cond", tensor.ScalarBool(true))
+	g.AddInput("x", tensor.Float32, lattice.FromInts(1))
+	g.Op("Loop", "lp", []string{"trip", "cond", "x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	_, err := Run(g, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 1)}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "missing body") {
+		t.Errorf("want missing-body error, got %v", err)
+	}
+}
+
+func TestArenaTooSmallErrors(t *testing.T) {
+	g := graph.New("arena")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(8))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	arena := NewArena(map[string]int64{"y": 0}, 4) // 1 float for 8 floats
+	_, err := Run(g, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 8)},
+		Options{Arena: arena})
+	if err == nil || !strings.Contains(err.Error(), "exceeds arena") {
+		t.Errorf("want arena-overflow error, got %v", err)
+	}
+}
+
+func TestArenaMisalignedOffsetErrors(t *testing.T) {
+	g := graph.New("align")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(2))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	arena := NewArena(map[string]int64{"y": 2}, 64)
+	_, err := Run(g, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 2)},
+		Options{Arena: arena})
+	if err == nil || !strings.Contains(err.Error(), "aligned") {
+		t.Errorf("want alignment error, got %v", err)
+	}
+}
+
+func TestArenaPassthroughForUnplannedValues(t *testing.T) {
+	g := graph.New("passthrough")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.Op("Shape", "s", []string{"y"}, []string{"yshape"}, nil) // int64 output
+	g.AddOutput("y")
+	g.AddOutput("yshape")
+	arena := NewArena(map[string]int64{"y": 0}, 64)
+	res, err := Run(g, map[string]*tensor.Tensor{
+		"x": tensor.FromFloats([]int64{4}, []float32{-1, 2, -3, 4})}, Options{Arena: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["y"].F[1] != 2 {
+		t.Errorf("y = %v", res.Outputs["y"].F)
+	}
+	if res.Outputs["yshape"].I[0] != 4 {
+		t.Errorf("yshape = %v", res.Outputs["yshape"].I)
+	}
+}
+
+func TestGatherIndexOutOfRange(t *testing.T) {
+	g := graph.New("oob")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(3))
+	g.AddInitializer("idx", tensor.FromInts([]int64{1}, []int64{7}))
+	g.Op("Gather", "gg", []string{"x", "idx"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	_, err := Run(g, map[string]*tensor.Tensor{"x": tensor.New(tensor.Float32, 3)}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("want index error, got %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package fold
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/models"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func TestFoldConstantChain(t *testing.T) {
+	g := graph.New("chain")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(2))
+	g.AddInitializer("a", tensor.FromInts([]int64{2}, []int64{3, 4}))
+	g.AddInitializer("b", tensor.FromInts([]int64{2}, []int64{1, 1}))
+	g.Op("Add", "cadd", []string{"a", "b"}, []string{"ab"}, nil)   // foldable
+	g.Op("Mul", "cmul", []string{"ab", "b"}, []string{"abm"}, nil) // foldable after cadd
+	g.Op("Cast", "cc", []string{"abm"}, []string{"abf"}, map[string]graph.AttrValue{
+		"to": graph.StringAttr("float32")})
+	g.Op("Add", "live", []string{"x", "abf"}, []string{"y"}, nil) // depends on input
+	g.AddOutput("y")
+
+	res, err := Fold(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoldedNodes != 3 {
+		t.Errorf("folded %d nodes, want 3", res.FoldedNodes)
+	}
+	if len(g.Nodes) != 1 {
+		t.Errorf("remaining nodes = %d", len(g.Nodes))
+	}
+	if _, ok := g.Initializers["abf"]; !ok {
+		t.Error("folded value not registered as initializer")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Execution still correct: y = x + (a+b)*b = x + [4,5].
+	out, err := exec.Run(g, map[string]*tensor.Tensor{
+		"x": tensor.FromFloats([]int64{2}, []float32{1, 2})}, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Outputs["y"].F[0] != 5 || out.Outputs["y"].F[1] != 7 {
+		t.Errorf("y = %v", out.Outputs["y"].F)
+	}
+}
+
+func TestFoldLeavesDynamicNodes(t *testing.T) {
+	g := graph.New("dyn")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res, err := Fold(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoldedNodes != 0 || len(g.Nodes) != 1 {
+		t.Errorf("folded dynamic node: %+v", res)
+	}
+}
+
+func TestFoldSkipsControlFlow(t *testing.T) {
+	body := graph.New("b")
+	body.AddInput("bx", tensor.Float32, lattice.UndefShape())
+	body.Op("Relu", "br", []string{"bx"}, []string{"by"}, nil)
+	body.AddOutput("by")
+	g := graph.New("cf")
+	g.AddInitializer("cond", tensor.ScalarBool(true))
+	g.AddInitializer("cx", tensor.FromFloats([]int64{1}, []float32{-2}))
+	g.Op("If", "if1", []string{"cond", "cx"}, []string{"y"}, map[string]graph.AttrValue{
+		"then_branch": graph.GraphAttr(body),
+		"else_branch": graph.GraphAttr(body.Clone()),
+	})
+	g.AddOutput("y")
+	res, err := Fold(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoldedNodes != 0 {
+		t.Error("control flow must not fold")
+	}
+}
+
+// Folding any evaluation model must preserve its outputs exactly.
+func TestFoldPreservesModelOutputs(t *testing.T) {
+	for _, name := range []string{"CodeBERT", "YOLO-V6", "SkipNet"} {
+		b, _ := models.Get(name)
+		g := b.Build()
+		s := workload.Fixed(b, 1, b.MinSize, 0.5, 53)[0]
+		before, err := exec.Run(g, s.Inputs, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Fold(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: invalid after fold: %v", name, err)
+		}
+		after, err := exec.Run(g, s.Inputs, exec.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for out, ref := range before.Outputs {
+			if got := after.Outputs[out]; got == nil ||
+				(ref.DType == tensor.Float32 && !tensor.AllClose(ref, got, 1e-5)) {
+				t.Fatalf("%s: output %s changed after folding %d nodes", name, out, res.FoldedNodes)
+			}
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package frameworks implements the five DNN execution engines the
+// evaluation compares (paper §2, §5): SoD² itself and policy-faithful
+// simulators of ONNX Runtime, MNN, TVM with the Nimble extension, and
+// TensorFlow Lite. All engines execute the same graphs through the same
+// kernels; they differ in exactly the ways the paper describes — how
+// they handle dynamic shapes (re-initialization, runtime shape
+// functions, dynamic allocation) and dynamic control flow (predicated
+// execution vs execute-all-and-strip), and which optimizations they can
+// apply. Latency comes from the device cost model over the executed
+// trace; memory from each engine's allocator policy over the same trace.
+package frameworks
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/exec"
+	"repro/internal/fold"
+	"repro/internal/fusion"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/memplan"
+	"repro/internal/models"
+	"repro/internal/mvc"
+	"repro/internal/plan"
+	"repro/internal/rdp"
+	"repro/internal/workload"
+)
+
+// Report is the outcome of one inference under one engine.
+type Report struct {
+	LatencyMS    float64
+	PeakMemBytes int64
+	// Phases breaks latency into named components (ms) — "infer",
+	// "reinit-sl", "reinit-st", "reinit-alloc", "shapefn", "malloc",
+	// "memplan".
+	Phases map[string]float64
+}
+
+// Engine is one execution framework.
+type Engine interface {
+	Name() string
+	// Supports mirrors the paper's "-" cells (Table 5/6).
+	Supports(model string, dev costmodel.Device) bool
+	// Run executes one sample and reports latency and peak memory.
+	Run(m *Compiled, s workload.Sample, dev costmodel.Device) (Report, error)
+	// Reset clears shape caches (call between experiments).
+	Reset()
+}
+
+// Compiled caches the per-model artifacts all engines share.
+type Compiled struct {
+	Builder      *models.Builder
+	Graph        *graph.Graph
+	Infos        map[string]lattice.Info
+	RDPResult    *rdp.Result
+	FusionRDP    *fusion.Plan
+	FusionStatic *fusion.Plan
+	ExecPlan     *plan.Plan
+	MVCPlan      *mvc.Plan
+	// NaiveOrder is the parallelism-first (BFS) schedule used as the
+	// "no execution planning" baseline.
+	NaiveOrder []*graph.Node
+
+	traceCache map[traceKey]*exec.Result
+}
+
+// OrderKind selects the execution order policy for Execute.
+type OrderKind uint8
+
+// Execution orders.
+const (
+	// OrderTopo is the model's declaration (topological) order — what a
+	// static framework executes after its own offline planning.
+	OrderTopo OrderKind = iota
+	// OrderBFS is the parallelism-first order (no memory-aware planning).
+	OrderBFS
+	// OrderPlanned is SoD²'s memory-aware planned order (SEP).
+	OrderPlanned
+)
+
+type traceKey struct {
+	sampleID    uint64
+	allBranches bool
+	order       OrderKind
+}
+
+// Execute runs the graph for one sample, memoizing by (sample, policy):
+// all engines and devices that need the same executor policy share one
+// real execution — the tensors and trace are identical by construction.
+func (c *Compiled) Execute(s workload.Sample, allBranches bool, kind OrderKind) (*exec.Result, error) {
+	key := traceKey{sampleID: s.ID, allBranches: allBranches, order: kind}
+	if c.traceCache == nil {
+		c.traceCache = map[traceKey]*exec.Result{}
+	}
+	if r, ok := c.traceCache[key]; ok && s.ID != 0 {
+		return r, nil
+	}
+	var order []*graph.Node
+	switch kind {
+	case OrderPlanned:
+		order = c.ExecPlan.Order
+	case OrderBFS:
+		order = c.NaiveOrder
+	}
+	r, err := exec.Run(c.Graph, s.Inputs, exec.Options{Order: order, ExecuteAllBranches: allBranches})
+	if err != nil {
+		return nil, err
+	}
+	if s.ID != 0 {
+		if len(c.traceCache) > 256 {
+			c.traceCache = map[traceKey]*exec.Result{}
+		}
+		c.traceCache[key] = r
+	}
+	return r, nil
+}
+
+// Compile analyzes and plans a model once (SoD²'s pre-deployment work;
+// the baselines reuse only the pieces their real counterparts have).
+func Compile(b *models.Builder) (*Compiled, error) {
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("frameworks: %s: %w", b.Name, err)
+	}
+	// General static optimization applied by every configuration
+	// including the No-opt baseline (§5.3): compile-time constant folding.
+	if _, err := fold.Fold(g); err != nil {
+		return nil, fmt.Errorf("frameworks: %s: %w", b.Name, err)
+	}
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Builder: b, Graph: g, Infos: res.Infos, RDPResult: res}
+	c.FusionRDP = fusion.Fuse(g, res.Infos, fusion.RDP)
+	c.FusionStatic = fusion.Fuse(g, res.Infos, fusion.Static)
+	c.ExecPlan, err = plan.Build(g, res.Infos, plan.Options{Fusion: c.FusionRDP})
+	if err != nil {
+		return nil, err
+	}
+	c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
+	c.NaiveOrder = plan.BFSOrder(g)
+	c.compileSubgraphs()
+	return c, nil
+}
+
+// compileSubgraphs extends the fusion and MVC plans into If/Loop branch
+// bodies: SoD² optimizes across control flow (§4.3), so the compute
+// inside a taken branch is fused and multi-versioned like top-level
+// operators. Body value names are globally unique by construction.
+func (c *Compiled) compileSubgraphs() {
+	for _, n := range c.Graph.Nodes {
+		for _, attrName := range []string{"then_branch", "else_branch", "body"} {
+			body := n.AttrGraph(attrName)
+			if body == nil {
+				continue
+			}
+			// Bind body inputs to the parent's inferred shapes.
+			overrides := map[string]lattice.Shape{}
+			for i, in := range body.Inputs {
+				parentIdx := i + 1
+				if n.OpType == "Loop" {
+					parentIdx = i
+				}
+				if parentIdx < len(n.Inputs) && n.Inputs[parentIdx] != "" {
+					overrides[in.Name] = c.Infos[n.Inputs[parentIdx]].Shape
+				}
+			}
+			res, err := rdp.Analyze(body, overrides, rdp.Options{})
+			if err != nil {
+				continue // conservatively leave the body unoptimized
+			}
+			mergeFusion(c.FusionRDP, fusion.Fuse(body, res.Infos, fusion.RDP))
+			mergeFusion(c.FusionStatic, fusion.Fuse(body, res.Infos, fusion.Static))
+			sub := mvc.BuildPlan(body, res.Infos, c.Builder.MinSize, c.Builder.MaxSize)
+			c.MVCPlan.Hotspots = append(c.MVCPlan.Hotspots, sub.Hotspots...)
+			c.MVCPlan.TotalVersions += sub.TotalVersions
+			// Branch bodies are planning regions of their own (§4.3):
+			// fold their sub-graph partition into the model's.
+			if bodyPlan, err := plan.Build(body, res.Infos, plan.Options{}); err == nil {
+				base := len(c.ExecPlan.Subgraphs)
+				for _, sg := range bodyPlan.Subgraphs {
+					sg.ID += base
+					c.ExecPlan.Subgraphs = append(c.ExecPlan.Subgraphs, sg)
+				}
+			}
+		}
+	}
+}
+
+// mergeFusion folds a body fusion plan into the parent's with offset
+// group IDs.
+func mergeFusion(dst, src *fusion.Plan) {
+	offset := len(dst.Groups)
+	for _, grp := range src.Groups {
+		grp.ID += offset
+		dst.Groups = append(dst.Groups, grp)
+	}
+	for node, gid := range src.NodeGroup {
+		dst.NodeGroup[node] = gid + offset
+	}
+	for name := range src.Internal {
+		dst.Internal[name] = true
+	}
+}
+
+// TraceProgram converts an executed trace into a liveness program
+// suitable for memory planning (exported for the bench harness).
+func TraceProgram(g *graph.Graph, tr exec.Trace, internal map[string]bool) *memplan.Program {
+	return traceProgram(g, tr, internal)
+}
+
+// TraceProgramDeferred is TraceProgram with deferred (coarse-grained)
+// deallocation — the no-lifetime-analysis behaviour (exported for the
+// bench harness's §4.4.1 ablation).
+func TraceProgramDeferred(g *graph.Graph, tr exec.Trace, internal map[string]bool, deferFree int) *memplan.Program {
+	return traceProgramDefer(g, tr, internal, deferFree)
+}
+
+// traceProgram converts an executed trace into a liveness program.
+// internal values (fused away) are sized 0; skipped events are ignored.
+func traceProgram(g *graph.Graph, tr exec.Trace, internal map[string]bool) *memplan.Program {
+	return traceProgramDefer(g, tr, internal, 0)
+}
+
+// traceProgramDefer additionally defers every buffer's death by
+// deferFree steps: without a static execution plan the runtime has no
+// lifetime analysis and releases buffers at coarse sub-graph
+// granularity rather than at last use (the memory cost SEP removes).
+func traceProgramDefer(g *graph.Graph, tr exec.Trace, internal map[string]bool, deferFree int) *memplan.Program {
+	keep := map[string]bool{}
+	for _, o := range g.Outputs {
+		keep[o] = true
+	}
+	var steps []memplan.StepSpec
+	for _, ev := range tr.Events {
+		if ev.Skipped {
+			continue
+		}
+		var st memplan.StepSpec
+		for i, name := range ev.OutNames {
+			if name == "" {
+				continue
+			}
+			size := ev.OutBytes[i]
+			if internal != nil && internal[name] {
+				size = 0
+			}
+			st.Produces = append(st.Produces, memplan.NamedSize{Name: name, Size: size})
+		}
+		for _, name := range ev.InNames {
+			if name != "" && !g.IsGraphInput(name) {
+				if _, isConst := g.Initializers[name]; !isConst {
+					st.Consumes = append(st.Consumes, name)
+				}
+			}
+		}
+		steps = append(steps, st)
+	}
+	prog := memplan.FromSteps(steps, keep)
+	if deferFree > 0 {
+		for i := range prog.Bufs {
+			d := prog.Bufs[i].Death + deferFree
+			if d > prog.Steps-1 {
+				d = prog.Steps - 1
+			}
+			prog.Bufs[i].Death = d
+		}
+	}
+	return prog
+}
+
+// poolSimArena simulates a caching pool allocator (ONNX Runtime's
+// BFC-arena behaviour under dynamic shapes): freed chunks are reused
+// only for requests within [size, 2×size); everything else grows the
+// arena, which never shrinks.
+func poolSimArena(p *memplan.Program) int64 {
+	type chunk struct{ size int64 }
+	var freed []chunk
+	var arena int64
+	// Chronological events.
+	type ev struct {
+		step  int
+		alloc bool
+		size  int64
+		idx   int
+	}
+	var evs []ev
+	for i, b := range p.Bufs {
+		if b.Size == 0 {
+			continue
+		}
+		evs = append(evs, ev{step: b.Birth, alloc: true, size: b.Size, idx: i})
+		evs = append(evs, ev{step: b.Death + 1, alloc: false, size: b.Size, idx: i})
+	}
+	// Stable order: by step; frees before allocs at the same step.
+	for s := 0; s <= p.Steps+1; s++ {
+		for _, e := range evs {
+			if e.step != s || e.alloc {
+				continue
+			}
+			freed = append(freed, chunk{e.size})
+		}
+		for _, e := range evs {
+			if e.step != s || !e.alloc {
+				continue
+			}
+			reused := -1
+			var bestSize int64 = 1 << 62
+			for i, c := range freed {
+				if c.size >= e.size && c.size < 2*e.size && c.size < bestSize {
+					reused, bestSize = i, c.size
+				}
+			}
+			if reused >= 0 {
+				freed = append(freed[:reused], freed[reused+1:]...)
+			} else {
+				arena += e.size
+			}
+		}
+	}
+	return arena
+}
+
+// mvcEff returns the tuned-kernel efficiency for an executed hotspot op.
+func mvcEff(plan *mvc.Plan, ev exec.OpEvent) float64 {
+	if plan == nil {
+		return 1.0
+	}
+	for i := range plan.Hotspots {
+		h := &plan.Hotspots[i]
+		if h.Node != ev.Node {
+			continue
+		}
+		m, n := int64(64), int64(64)
+		switch ev.OpType {
+		case "MatMul", "Gemm":
+			if len(ev.InShapes) >= 2 {
+				a := ev.InShapes[0]
+				b := ev.InShapes[1]
+				if len(a) >= 2 {
+					m = a[len(a)-2]
+				}
+				if len(b) >= 1 {
+					n = b[len(b)-1]
+				}
+			}
+		case "Conv":
+			if len(ev.OutShapes) >= 1 && len(ev.OutShapes[0]) == 4 {
+				o := ev.OutShapes[0]
+				m = o[1]
+				n = o[2] * o[3]
+			}
+		}
+		return h.SelectVersion(m, n).Efficiency
+	}
+	return 1.0
+}

@@ -1,0 +1,110 @@
+package frameworks
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/lattice"
+	"repro/internal/memplan"
+	"repro/internal/rdp"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+// PlanArena performs SoD²'s runtime memory-plan generation (§4.4.1) for
+// one concrete set of inputs, *without executing anything*: the inputs'
+// dims bind the model's symbolic constants, every RDP-resolved
+// intermediate shape evaluates to a concrete size, liveness follows from
+// the planned execution order, and the peak-first planner assigns
+// offsets in one arena. Values RDP could not resolve (⊥ shapes,
+// control-flow merges) fall back to dynamic allocation at run time.
+func (c *Compiled) PlanArena(inputs map[string]*tensor.Tensor) (*exec.Arena, error) {
+	env := symbolic.Env{}
+	for _, in := range c.Graph.Inputs {
+		t := inputs[in.Name]
+		if t == nil {
+			return nil, fmt.Errorf("frameworks: missing input %q", in.Name)
+		}
+		if err := rdp.BindShapes(c.Infos[in.Name].Shape, t.Shape, env); err != nil {
+			return nil, err
+		}
+	}
+
+	keep := map[string]bool{}
+	for _, o := range c.Graph.Outputs {
+		keep[o] = true
+	}
+	var steps []memplan.StepSpec
+	for _, n := range c.ExecPlan.Order {
+		var st memplan.StepSpec
+		if !isControlFlow(n.OpType) {
+			for _, o := range n.Outputs {
+				if o == "" {
+					continue
+				}
+				size := evalBytes(c.Infos[o].Shape, env)
+				if size > 0 {
+					st.Produces = append(st.Produces, memplan.NamedSize{Name: o, Size: size})
+				}
+			}
+		}
+		for _, in := range n.Inputs {
+			if in != "" && !c.Graph.IsGraphInput(in) {
+				if _, isConst := c.Graph.Initializers[in]; !isConst {
+					st.Consumes = append(st.Consumes, in)
+				}
+			}
+		}
+		steps = append(steps, st)
+	}
+	prog := memplan.FromSteps(steps, keep)
+	plan := memplan.PeakFirst(prog)
+	if err := plan.Validate(prog); err != nil {
+		return nil, err
+	}
+	return exec.NewArena(plan.Offsets, plan.ArenaSize), nil
+}
+
+// RunWithArena plans the arena for the inputs and executes into it.
+func (c *Compiled) RunWithArena(inputs map[string]*tensor.Tensor) (*exec.Result, *exec.Arena, error) {
+	arena, err := c.PlanArena(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := exec.Run(c.Graph, inputs, exec.Options{
+		Order: c.ExecPlan.Order,
+		Arena: arena,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, arena, nil
+}
+
+func isControlFlow(op string) bool {
+	switch op {
+	case "Switch", "Combine", "If", "Loop":
+		return true
+	}
+	return false
+}
+
+// evalBytes evaluates a lattice shape's byte size under env (float32
+// element size; 0 when the shape cannot be resolved statically).
+func evalBytes(s lattice.Shape, env symbolic.Env) int64 {
+	if s.Kind != lattice.ShapeRanked {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range s.Dims {
+		if !d.IsExpr() {
+			return 0
+		}
+		v, err := d.E.Eval(env)
+		if err != nil || v < 0 {
+			return 0
+		}
+		n *= v
+	}
+	return n * 4
+}

@@ -1,0 +1,163 @@
+package frameworks
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/memplan"
+	"repro/internal/workload"
+)
+
+// SoD2Options toggle the RDP-enabled optimizations individually (the
+// Fig. 5/6 breakdown: No-opt → +Fusion → +SEP → +DMP → +MVC) plus the
+// execute-all-branches mode of Fig. 9.
+type SoD2Options struct {
+	Fusion bool
+	SEP    bool
+	DMP    bool
+	MVC    bool
+	// ExecuteAllBranches disables <Switch, Combine> predication
+	// (apples-to-apples comparison of Fig. 9).
+	ExecuteAllBranches bool
+	// StaticFrozen models the DNNFusion static baseline of Fig. 12:
+	// everything known at compile time — no dynamic-planning overhead at
+	// runtime and a slightly deeper fusion search.
+	StaticFrozen bool
+}
+
+// FullSoD2 enables every optimization.
+func FullSoD2() SoD2Options { return SoD2Options{Fusion: true, SEP: true, DMP: true, MVC: true} }
+
+// SoD2 is the paper's system.
+type SoD2 struct {
+	Opts SoD2Options
+}
+
+// NewSoD2 builds the engine with the given optimization set.
+func NewSoD2(opts SoD2Options) *SoD2 { return &SoD2{Opts: opts} }
+
+// Name identifies the engine (reflecting disabled optimizations).
+func (s *SoD2) Name() string {
+	if s.Opts.StaticFrozen {
+		return "DNNFusion-static"
+	}
+	if s.Opts == FullSoD2() {
+		return "SoD2"
+	}
+	n := "SoD2[no-opt"
+	if s.Opts.Fusion {
+		n += "+Fusion"
+	}
+	if s.Opts.SEP {
+		n += "+SEP"
+	}
+	if s.Opts.DMP {
+		n += "+DMP"
+	}
+	if s.Opts.MVC {
+		n += "+MVC"
+	}
+	return n + "]"
+}
+
+// Supports: SoD² runs every model on every device.
+func (s *SoD2) Supports(string, costmodel.Device) bool { return true }
+
+// Reset is a no-op: SoD² has no shape-dependent cache to invalidate.
+func (s *SoD2) Reset() {}
+
+// Run executes one sample under the configured optimization set.
+func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (Report, error) {
+	kind := OrderBFS
+	if s.Opts.SEP {
+		kind = OrderPlanned
+	}
+	res, err := m.Execute(sample, s.Opts.ExecuteAllBranches, kind)
+	if err != nil {
+		return Report{}, err
+	}
+	tr := res.Trace
+
+	// --- Latency -----------------------------------------------------
+	opts := costmodel.TraceCostOptions{}
+	internal := map[string]bool{}
+	if s.Opts.Fusion {
+		fp := m.FusionRDP
+		internal = fp.Internal
+		opts.GroupOf = func(n *graph.Node) int {
+			if gid, ok := fp.NodeGroup[n]; ok {
+				return gid
+			}
+			return -1
+		}
+		opts.InternalBytes = func(ev exec.OpEvent) int64 {
+			var b int64
+			for i, name := range ev.OutNames {
+				if name != "" && fp.Internal[name] {
+					b += ev.OutBytes[i]
+				}
+			}
+			return b
+		}
+	}
+
+	// SEP improves locality proportionally to how much live memory the
+	// planned order saves over the naive one (cache-pressure model).
+	sepBonus := 1.0
+	if s.Opts.SEP && tr.PeakLiveBytes > 0 && m.ExecPlan.PeakBytes > 0 {
+		naive := tr.TotalAllocBytes
+		if naive > 0 {
+			sepBonus = 1.10
+		}
+	}
+	if s.Opts.MVC || s.Opts.StaticFrozen {
+		mp := m.MVCPlan
+		opts.Eff = func(ev exec.OpEvent) float64 {
+			e := mvcEff(mp, ev) * sepBonus
+			if s.Opts.StaticFrozen {
+				// Full static information → marginally deeper fusion
+				// and perfectly specialized single-version kernels.
+				e *= 1.04
+			}
+			return e
+		}
+	} else if sepBonus != 1.0 {
+		opts.Eff = func(exec.OpEvent) float64 { return sepBonus }
+	}
+
+	phases := map[string]float64{}
+
+	// --- Memory ------------------------------------------------------
+	// Without the static execution plan there is no lifetime analysis:
+	// deallocation happens at coarse sub-graph granularity.
+	deferFree := 0
+	if !s.Opts.SEP {
+		deferFree = 6
+	}
+	prog := traceProgramDefer(m.Graph, tr, internal, deferFree)
+	var peak int64
+	switch {
+	case s.Opts.DMP:
+		// Runtime plan generation: cheap single pass over the tensors
+		// (this is the overhead Fig. 12 measures vs fully-static).
+		if !s.Opts.StaticFrozen {
+			planUS := float64(len(prog.Bufs)) * 0.15
+			phases["memplan"] = planUS / 1000
+		}
+		peak = memplan.PeakFirst(prog).ArenaSize
+	default:
+		// Without DMP every tensor goes through the dynamic allocator.
+		mallocUS := float64(tr.AllocCount) * dev.MallocUS
+		phases["malloc"] = mallocUS / 1000
+		peak = poolSimArena(prog)
+	}
+
+	inferUS := dev.TraceCost(tr, opts) * dev.MemPressure(peak)
+	phases["infer"] = inferUS / 1000
+
+	var total float64
+	for _, v := range phases {
+		total += v
+	}
+	return Report{LatencyMS: total, PeakMemBytes: peak, Phases: phases}, nil
+}

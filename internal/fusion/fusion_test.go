@@ -1,0 +1,190 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/rdp"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+// convBlock builds Conv→BN-less chain: Conv → Add(bias) → Relu on a
+// symbolic spatial size.
+func convBlock(t *testing.T) (*graph.Graph, map[string]lattice.Info) {
+	t.Helper()
+	g := graph.New("block")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(
+		lattice.FromInt(1), lattice.FromInt(8), lattice.FromSym("H"), lattice.FromSym("H")))
+	g.AddInitializer("w", tensor.New(tensor.Float32, 8, 8, 3, 3))
+	g.AddInitializer("b", tensor.New(tensor.Float32, 1, 8, 1, 1))
+	g.Op("Conv", "conv", []string{"x", "w"}, []string{"c"}, map[string]graph.AttrValue{
+		"pads": graph.IntsAttr(1, 1, 1, 1)})
+	g.Op("Add", "bias", []string{"c", "b"}, []string{"cb"}, nil)
+	g.Op("Relu", "act", []string{"cb"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res.Infos
+}
+
+func TestRDPFusesSymbolicConvBlock(t *testing.T) {
+	g, infos := convBlock(t)
+	plan := Fuse(g, infos, RDP)
+	if plan.LayerCount() != 1 {
+		t.Fatalf("rdp layers = %d, want 1 (groups: %+v)", plan.LayerCount(), plan.Groups)
+	}
+	if !plan.Internal["c"] || !plan.Internal["cb"] {
+		t.Errorf("internal values = %v", plan.Internal)
+	}
+	if plan.Groups[0].Versions != 1 {
+		t.Errorf("versions = %d, want 1", plan.Groups[0].Versions)
+	}
+}
+
+func TestStaticCannotFuseSymbolicShapes(t *testing.T) {
+	g, infos := convBlock(t)
+	plan := Fuse(g, infos, Static)
+	if plan.LayerCount() != 3 {
+		t.Errorf("static layers = %d, want 3", plan.LayerCount())
+	}
+	if len(plan.Internal) != 0 {
+		t.Errorf("static internals = %v", plan.Internal)
+	}
+}
+
+func TestStaticFusesKnownShapes(t *testing.T) {
+	g := graph.New("known")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(1, 8, 16, 16))
+	g.AddInitializer("w", tensor.New(tensor.Float32, 8, 8, 3, 3))
+	g.Op("Conv", "conv", []string{"x", "w"}, []string{"c"}, map[string]graph.AttrValue{
+		"pads": graph.IntsAttr(1, 1, 1, 1)})
+	g.Op("Relu", "act", []string{"c"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Fuse(g, res.Infos, Static)
+	if plan.LayerCount() != 1 {
+		t.Errorf("static layers on known shapes = %d", plan.LayerCount())
+	}
+}
+
+func TestNoFusionMode(t *testing.T) {
+	g, infos := convBlock(t)
+	plan := Fuse(g, infos, NoFusion)
+	if plan.LayerCount() != len(g.Nodes) {
+		t.Errorf("nofusion layers = %d", plan.LayerCount())
+	}
+}
+
+func TestMultiConsumerEdgeNotFused(t *testing.T) {
+	g := graph.New("fanout")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+	g.Op("Relu", "a", []string{"x"}, []string{"y"}, nil)
+	g.Op("Sigmoid", "b", []string{"y"}, []string{"z1"}, nil)
+	g.Op("Tanh", "c", []string{"y"}, []string{"z2"}, nil)
+	g.AddOutput("z1")
+	g.AddOutput("z2")
+	res, _ := rdp.Analyze(g, nil, rdp.Options{})
+	plan := Fuse(g, res.Infos, RDP)
+	// y has two consumers: it must materialize, so b and c cannot join
+	// a's group.
+	if plan.NodeGroup[g.Nodes[0]] == plan.NodeGroup[g.Nodes[1]] {
+		t.Error("fused across multi-consumer edge")
+	}
+	if plan.Internal["y"] {
+		t.Error("y must materialize")
+	}
+}
+
+func TestGraphOutputNotInternal(t *testing.T) {
+	g := graph.New("outedge")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+	g.Op("Relu", "a", []string{"x"}, []string{"y"}, nil)
+	g.Op("Sigmoid", "b", []string{"y"}, []string{"z"}, nil)
+	g.AddOutput("y") // y is both consumed and a model output
+	g.AddOutput("z")
+	res, _ := rdp.Analyze(g, nil, rdp.Options{})
+	plan := Fuse(g, res.Infos, RDP)
+	if plan.Internal["y"] {
+		t.Error("graph output cannot be internal")
+	}
+}
+
+// Fig. 4: Sigmoid(A[I',J',K']) + B[I,J,K]. When RDP proves I'=I, J'=1,
+// K'=1, one fused version suffices; without that knowledge 8 are needed.
+func TestBroadcastVersionCounting(t *testing.T) {
+	build := func(aShape lattice.Shape) (*graph.Graph, map[string]lattice.Info) {
+		g := graph.New("fig4")
+		g.AddInput("a", tensor.Float32, aShape)
+		g.AddInput("b", tensor.Float32, lattice.Ranked(
+			lattice.FromSym("I"), lattice.FromSym("J"), lattice.FromSym("K")))
+		g.Op("Sigmoid", "sig", []string{"a"}, []string{"sa"}, nil)
+		g.Op("Add", "add", []string{"sa", "b"}, []string{"y"}, nil)
+		g.AddOutput("y")
+		res, err := rdp.Analyze(g, nil, rdp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, res.Infos
+	}
+
+	// RDP resolved: A = [I, 1, 1].
+	g1, infos1 := build(lattice.Ranked(lattice.FromSym("I"), lattice.FromInt(1), lattice.FromInt(1)))
+	plan1 := Fuse(g1, infos1, RDP)
+	if plan1.LayerCount() != 1 {
+		t.Fatalf("resolved fig4 layers = %d", plan1.LayerCount())
+	}
+	if plan1.Groups[plan1.NodeGroup[g1.Nodes[1]]].Versions != 1 {
+		t.Errorf("resolved versions = %d", plan1.Groups[plan1.NodeGroup[g1.Nodes[1]]].Versions)
+	}
+
+	// Unresolved: A = [I', J', K'] all distinct symbols — not fusable into
+	// one version; group stays split and the Add group would need 8.
+	g2, infos2 := build(lattice.Ranked(lattice.FromSym("Ip"), lattice.FromSym("Jp"), lattice.FromSym("Kp")))
+	plan2 := Fuse(g2, infos2, RDP)
+	if plan2.LayerCount() != 2 {
+		t.Errorf("unresolved fig4 layers = %d, want 2 (no single-version fusion)", plan2.LayerCount())
+	}
+	addGroup := plan2.Groups[plan2.NodeGroup[g2.Nodes[1]]]
+	if addGroup.Versions != 8 {
+		t.Errorf("unresolved versions = %d, want 8", addGroup.Versions)
+	}
+}
+
+func TestMeasureIRBytes(t *testing.T) {
+	g, infos := convBlock(t)
+	plan := Fuse(g, infos, RDP)
+	env := symbolic.Env{"H": 16}
+	m := plan.Measure(g, infos, env)
+	if m.OriginalLayers != 3 || m.FusedLayers != 1 {
+		t.Errorf("layers %d -> %d", m.OriginalLayers, m.FusedLayers)
+	}
+	// Internal c and cb (each 1*8*16*16*4 bytes) are eliminated.
+	perTensor := int64(1 * 8 * 16 * 16 * 4)
+	if m.IRBytesBefore != 3*perTensor {
+		t.Errorf("before = %d, want %d", m.IRBytesBefore, 3*perTensor)
+	}
+	if m.IRBytesAfter != perTensor {
+		t.Errorf("after = %d, want %d", m.IRBytesAfter, perTensor)
+	}
+}
+
+func TestEDONeverFuses(t *testing.T) {
+	g := graph.New("edofuse")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+	g.Op("NonZero", "nz", []string{"x"}, []string{"idx"}, nil)
+	g.Op("Cast", "c", []string{"idx"}, []string{"y"}, map[string]graph.AttrValue{
+		"to": graph.StringAttr("float32")})
+	g.AddOutput("y")
+	res, _ := rdp.Analyze(g, nil, rdp.Options{})
+	plan := Fuse(g, res.Infos, RDP)
+	if plan.LayerCount() != 2 {
+		t.Errorf("EDO fused: %d layers", plan.LayerCount())
+	}
+}

@@ -1,0 +1,434 @@
+// Package graph defines SoD²'s computational-graph IR: an ONNX-style
+// directed acyclic graph of operator nodes over named tensor values,
+// extended with the paper's customized <Switch, Combine> control-flow
+// operator pair (§3, §7) and subgraph-carrying If/Loop nodes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/tensor"
+)
+
+// AttrValue is a node attribute: one of int64, []int64, float64, string,
+// or *Graph (subgraph bodies for If/Loop).
+type AttrValue struct {
+	I    int64
+	Ints []int64
+	F    float64
+	S    string
+	G    *Graph
+	Kind AttrKind
+}
+
+// AttrKind tags which AttrValue field is valid.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	AttrInt AttrKind = iota
+	AttrInts
+	AttrFloat
+	AttrString
+	AttrGraph
+)
+
+// IntAttr wraps an int attribute.
+func IntAttr(v int64) AttrValue { return AttrValue{Kind: AttrInt, I: v} }
+
+// IntsAttr wraps an int-list attribute.
+func IntsAttr(v ...int64) AttrValue { return AttrValue{Kind: AttrInts, Ints: v} }
+
+// FloatAttr wraps a float attribute.
+func FloatAttr(v float64) AttrValue { return AttrValue{Kind: AttrFloat, F: v} }
+
+// StringAttr wraps a string attribute.
+func StringAttr(v string) AttrValue { return AttrValue{Kind: AttrString, S: v} }
+
+// GraphAttr wraps a subgraph attribute.
+func GraphAttr(g *Graph) AttrValue { return AttrValue{Kind: AttrGraph, G: g} }
+
+// Node is one operator application. Inputs and Outputs are value names;
+// an empty input name denotes an omitted optional input.
+type Node struct {
+	Name    string
+	OpType  string
+	Inputs  []string
+	Outputs []string
+	Attrs   map[string]AttrValue
+}
+
+// Attr returns the named attribute and whether it exists.
+func (n *Node) Attr(name string) (AttrValue, bool) {
+	a, ok := n.Attrs[name]
+	return a, ok
+}
+
+// AttrInt returns an int attribute or the default.
+func (n *Node) AttrInt(name string, def int64) int64 {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrInt {
+		return a.I
+	}
+	return def
+}
+
+// AttrInts returns an int-list attribute or the default.
+func (n *Node) AttrInts(name string, def []int64) []int64 {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrInts {
+		return a.Ints
+	}
+	return def
+}
+
+// AttrFloat returns a float attribute or the default.
+func (n *Node) AttrFloat(name string, def float64) float64 {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrFloat {
+		return a.F
+	}
+	return def
+}
+
+// AttrString returns a string attribute or the default.
+func (n *Node) AttrString(name string, def string) string {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrString {
+		return a.S
+	}
+	return def
+}
+
+// AttrGraph returns a subgraph attribute or nil.
+func (n *Node) AttrGraph(name string) *Graph {
+	if a, ok := n.Attrs[name]; ok && a.Kind == AttrGraph {
+		return a.G
+	}
+	return nil
+}
+
+// ValueDef declares a graph input (or output) with its element type and
+// possibly-symbolic shape.
+type ValueDef struct {
+	Name  string
+	DType tensor.DType
+	Shape lattice.Shape
+}
+
+// Graph is the extended computational graph G of the RDP four-tuple.
+type Graph struct {
+	Name         string
+	Nodes        []*Node
+	Inputs       []ValueDef
+	Outputs      []string
+	Initializers map[string]*tensor.Tensor
+
+	producer map[string]*Node // value name -> producing node
+}
+
+// New creates an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, Initializers: map[string]*tensor.Tensor{}}
+}
+
+// AddInput declares a graph input.
+func (g *Graph) AddInput(name string, dt tensor.DType, shape lattice.Shape) {
+	g.Inputs = append(g.Inputs, ValueDef{Name: name, DType: dt, Shape: shape})
+}
+
+// AddOutput declares a graph output value.
+func (g *Graph) AddOutput(name string) { g.Outputs = append(g.Outputs, name) }
+
+// AddInitializer registers a constant tensor.
+func (g *Graph) AddInitializer(name string, t *tensor.Tensor) {
+	g.Initializers[name] = t
+}
+
+// AddNode appends a node and invalidates cached indices.
+func (g *Graph) AddNode(n *Node) *Node {
+	g.Nodes = append(g.Nodes, n)
+	g.producer = nil
+	return n
+}
+
+// Op is the convenience node constructor: it appends a node with the
+// given op type, inputs, and outputs, returning it for attribute setting.
+func (g *Graph) Op(opType, name string, inputs []string, outputs []string, attrs map[string]AttrValue) *Node {
+	if attrs == nil {
+		attrs = map[string]AttrValue{}
+	}
+	return g.AddNode(&Node{Name: name, OpType: opType, Inputs: inputs, Outputs: outputs, Attrs: attrs})
+}
+
+// Producer returns the node producing the named value (nil for graph
+// inputs and initializers).
+func (g *Graph) Producer(value string) *Node {
+	if g.producer == nil {
+		g.producer = make(map[string]*Node, len(g.Nodes)*2)
+		for _, n := range g.Nodes {
+			for _, o := range n.Outputs {
+				if o != "" {
+					g.producer[o] = n
+				}
+			}
+		}
+	}
+	return g.producer[value]
+}
+
+// IsGraphInput reports whether the value is a declared model input.
+func (g *Graph) IsGraphInput(value string) bool {
+	for _, in := range g.Inputs {
+		if in.Name == value {
+			return true
+		}
+	}
+	return false
+}
+
+// Consumers returns the nodes consuming each value.
+func (g *Graph) Consumers() map[string][]*Node {
+	out := make(map[string][]*Node)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in != "" {
+				out[in] = append(out[in], n)
+			}
+		}
+	}
+	return out
+}
+
+// Predecessors returns the producing nodes of n's inputs (deduplicated,
+// in input order).
+func (g *Graph) Predecessors(n *Node) []*Node {
+	var out []*Node
+	seen := make(map[*Node]bool)
+	for _, in := range n.Inputs {
+		if in == "" {
+			continue
+		}
+		if p := g.Producer(in); p != nil && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Successors returns the nodes consuming n's outputs.
+func (g *Graph) Successors(n *Node, consumers map[string][]*Node) []*Node {
+	var out []*Node
+	seen := make(map[*Node]bool)
+	for _, o := range n.Outputs {
+		for _, c := range consumers[o] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// TopoSort returns the nodes in a depth-first topological order
+// (Alg. 1 processes nodes in DFS-sorted order). It returns an error if
+// the graph has a cycle or a node consumes an undefined value.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	defined := make(map[string]bool)
+	for _, in := range g.Inputs {
+		defined[in.Name] = true
+	}
+	for name := range g.Initializers {
+		defined[name] = true
+	}
+	// Kahn-style with stable order: repeatedly take the first node whose
+	// inputs are all defined.
+	remaining := append([]*Node(nil), g.Nodes...)
+	out := make([]*Node, 0, len(remaining))
+	for len(remaining) > 0 {
+		progress := false
+		rest := remaining[:0]
+		for _, n := range remaining {
+			ready := true
+			for _, in := range n.Inputs {
+				if in != "" && !defined[in] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out = append(out, n)
+				for _, o := range n.Outputs {
+					if o != "" {
+						defined[o] = true
+					}
+				}
+				progress = true
+			} else {
+				rest = append(rest, n)
+			}
+		}
+		remaining = append([]*Node(nil), rest...)
+		if !progress {
+			names := make([]string, 0, len(remaining))
+			for _, n := range remaining {
+				names = append(names, n.Name)
+			}
+			return nil, fmt.Errorf("graph %s: cycle or undefined input among nodes %v", g.Name, names)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks structural well-formedness: unique value producers,
+// defined inputs, declared outputs produced, and acyclicity.
+func (g *Graph) Validate() error {
+	prod := make(map[string]string)
+	for _, in := range g.Inputs {
+		if _, dup := prod[in.Name]; dup {
+			return fmt.Errorf("graph %s: duplicate input %q", g.Name, in.Name)
+		}
+		prod[in.Name] = "input"
+	}
+	for name := range g.Initializers {
+		if _, dup := prod[name]; dup {
+			return fmt.Errorf("graph %s: initializer %q shadows another value", g.Name, name)
+		}
+		prod[name] = "initializer"
+	}
+	for _, n := range g.Nodes {
+		if n.OpType == "" {
+			return fmt.Errorf("graph %s: node %q has empty op type", g.Name, n.Name)
+		}
+		for _, o := range n.Outputs {
+			if o == "" {
+				continue
+			}
+			if _, dup := prod[o]; dup {
+				return fmt.Errorf("graph %s: value %q produced twice", g.Name, o)
+			}
+			prod[o] = n.Name
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in == "" {
+				continue
+			}
+			if _, ok := prod[in]; !ok {
+				return fmt.Errorf("graph %s: node %q consumes undefined value %q", g.Name, n.Name, in)
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		if _, ok := prod[o]; !ok {
+			return fmt.Errorf("graph %s: declared output %q never produced", g.Name, o)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NumOps counts nodes including nested subgraphs.
+func (g *Graph) NumOps() int {
+	n := 0
+	for _, node := range g.Nodes {
+		n++
+		for _, a := range node.Attrs {
+			if a.Kind == AttrGraph && a.G != nil {
+				n += a.G.NumOps()
+			}
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the graph structure (initializer tensors are shared,
+// as they are immutable by convention).
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	c.Inputs = append([]ValueDef(nil), g.Inputs...)
+	c.Outputs = append([]string(nil), g.Outputs...)
+	for k, v := range g.Initializers {
+		c.Initializers[k] = v
+	}
+	for _, n := range g.Nodes {
+		attrs := make(map[string]AttrValue, len(n.Attrs))
+		for k, v := range n.Attrs {
+			if v.Kind == AttrGraph && v.G != nil {
+				v = GraphAttr(v.G.Clone())
+			}
+			attrs[k] = v
+		}
+		c.AddNode(&Node{
+			Name:    n.Name,
+			OpType:  n.OpType,
+			Inputs:  append([]string(nil), n.Inputs...),
+			Outputs: append([]string(nil), n.Outputs...),
+			Attrs:   attrs,
+		})
+	}
+	return c
+}
+
+// DOT renders the graph in Graphviz format, colored by value name hash —
+// primarily a debugging aid mirroring the paper's Fig. 1 style diagrams.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for _, in := range g.Inputs {
+		fmt.Fprintf(&b, "  %q [shape=ellipse,label=%q];\n", "val:"+in.Name, in.Name+" "+in.Shape.String())
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %q [shape=box,label=%q];\n", n.Name, n.OpType+"\\n"+n.Name)
+		for _, in := range n.Inputs {
+			if in == "" {
+				continue
+			}
+			src := in
+			if p := g.Producer(in); p != nil {
+				fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", p.Name, n.Name, in)
+			} else {
+				fmt.Fprintf(&b, "  %q -> %q;\n", "val:"+src, n.Name)
+			}
+		}
+	}
+	fmt.Fprint(&b, "}\n")
+	return b.String()
+}
+
+// ValueNames returns every value name in deterministic order.
+func (g *Graph) ValueNames() []string {
+	set := make(map[string]struct{})
+	for _, in := range g.Inputs {
+		set[in.Name] = struct{}{}
+	}
+	for name := range g.Initializers {
+		set[name] = struct{}{}
+	}
+	for _, n := range g.Nodes {
+		for _, v := range n.Inputs {
+			if v != "" {
+				set[v] = struct{}{}
+			}
+		}
+		for _, v := range n.Outputs {
+			if v != "" {
+				set[v] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetIndexes invalidates cached producer/consumer indexes after direct
+// structural mutation of Nodes (used by rewrite passes like fold).
+func (g *Graph) ResetIndexes() { g.producer = nil }

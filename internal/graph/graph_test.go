@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/tensor"
+)
+
+func chainGraph() *Graph {
+	g := New("chain")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(1, 4))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.Op("Sigmoid", "s", []string{"y"}, []string{"z"}, nil)
+	g.AddOutput("z")
+	return g
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := chainGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := chainGraph()
+	g.Op("Relu", "bad", []string{"undefined_value"}, []string{"w"}, nil)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("want undefined-value error, got %v", err)
+	}
+
+	g2 := chainGraph()
+	g2.Op("Relu", "dup", []string{"x"}, []string{"z"}, nil)
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("want duplicate-producer error, got %v", err)
+	}
+
+	g3 := chainGraph()
+	g3.AddOutput("missing")
+	if err := g3.Validate(); err == nil || !strings.Contains(err.Error(), "never produced") {
+		t.Errorf("want missing-output error, got %v", err)
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	g := New("diamond")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(2))
+	// Insert in reverse order to force sorting work.
+	g.Op("Add", "join", []string{"a", "b"}, []string{"out"}, nil)
+	g.Op("Relu", "left", []string{"x"}, []string{"a"}, nil)
+	g.Op("Sigmoid", "right", []string{"x"}, []string{"b"}, nil)
+	g.AddOutput("out")
+	sorted, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range sorted {
+		pos[n.Name] = i
+	}
+	if pos["join"] < pos["left"] || pos["join"] < pos["right"] {
+		t.Errorf("join must come after producers: %v", pos)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New("cycle")
+	g.Op("Relu", "a", []string{"y"}, []string{"x"}, nil)
+	g.Op("Relu", "b", []string{"x"}, []string{"y"}, nil)
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("expected cycle error")
+	}
+}
+
+func TestProducerConsumers(t *testing.T) {
+	g := chainGraph()
+	if g.Producer("y").Name != "r" {
+		t.Error("producer of y should be r")
+	}
+	if g.Producer("x") != nil {
+		t.Error("graph input has no producer")
+	}
+	cons := g.Consumers()
+	if len(cons["y"]) != 1 || cons["y"][0].Name != "s" {
+		t.Error("consumer of y should be s")
+	}
+}
+
+func TestPredecessorsSuccessors(t *testing.T) {
+	g := chainGraph()
+	s := g.Nodes[1]
+	preds := g.Predecessors(s)
+	if len(preds) != 1 || preds[0].Name != "r" {
+		t.Errorf("preds = %v", preds)
+	}
+	succ := g.Successors(g.Nodes[0], g.Consumers())
+	if len(succ) != 1 || succ[0].Name != "s" {
+		t.Errorf("succs = %v", succ)
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	n := &Node{Attrs: map[string]AttrValue{
+		"i":  IntAttr(3),
+		"is": IntsAttr(1, 2),
+		"f":  FloatAttr(0.5),
+		"s":  StringAttr("hello"),
+	}}
+	if n.AttrInt("i", 0) != 3 || n.AttrInt("missing", 7) != 7 {
+		t.Error("int attr")
+	}
+	if v := n.AttrInts("is", nil); len(v) != 2 || v[1] != 2 {
+		t.Error("ints attr")
+	}
+	if n.AttrFloat("f", 0) != 0.5 || n.AttrString("s", "") != "hello" {
+		t.Error("float/string attr")
+	}
+	if n.AttrGraph("g") != nil {
+		t.Error("missing graph attr should be nil")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := chainGraph()
+	sub := New("body")
+	sub.AddInput("bx", tensor.Float32, lattice.FromInts(1))
+	sub.Op("Relu", "br", []string{"bx"}, []string{"by"}, nil)
+	sub.AddOutput("by")
+	g.Op("If", "cond", []string{"x"}, []string{"w"}, map[string]AttrValue{
+		"then_branch": GraphAttr(sub),
+	})
+	c := g.Clone()
+	c.Nodes[0].OpType = "Tanh"
+	c.Nodes[2].AttrGraph("then_branch").Nodes[0].OpType = "Sigmoid"
+	if g.Nodes[0].OpType != "Relu" {
+		t.Error("clone mutated original node")
+	}
+	if sub.Nodes[0].OpType != "Relu" {
+		t.Error("clone mutated original subgraph")
+	}
+}
+
+func TestNumOpsWithSubgraph(t *testing.T) {
+	g := chainGraph()
+	sub := New("body")
+	sub.Op("Relu", "br", []string{"bx"}, []string{"by"}, nil)
+	g.Op("If", "c", []string{"x"}, []string{"w"}, map[string]AttrValue{"then_branch": GraphAttr(sub)})
+	if got := g.NumOps(); got != 4 {
+		t.Errorf("NumOps = %d, want 4", got)
+	}
+}
+
+func TestDOTAndValueNames(t *testing.T) {
+	g := chainGraph()
+	dot := g.DOT()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "Relu") {
+		t.Error("DOT output incomplete")
+	}
+	names := g.ValueNames()
+	want := []string{"x", "y", "z"}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestIsGraphInput(t *testing.T) {
+	g := chainGraph()
+	if !g.IsGraphInput("x") || g.IsGraphInput("y") {
+		t.Error("IsGraphInput wrong")
+	}
+}

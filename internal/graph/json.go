@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+// The JSON model format: a self-contained, human-readable serialization
+// of a computational graph — nodes, attributes (including nested
+// subgraphs), initializers, and symbolic input shapes (symbolic dims are
+// encoded as strings, e.g. "H" or even "(H//2)" round-tripped as opaque
+// fresh symbols).
+
+type jsonGraph struct {
+	Name         string                `json:"name"`
+	Inputs       []jsonValueDef        `json:"inputs"`
+	Outputs      []string              `json:"outputs"`
+	Nodes        []jsonNode            `json:"nodes"`
+	Initializers map[string]jsonTensor `json:"initializers,omitempty"`
+}
+
+type jsonValueDef struct {
+	Name  string   `json:"name"`
+	DType string   `json:"dtype"`
+	Shape []string `json:"shape"` // "?", "⊥", integers, or symbol names
+	Kind  string   `json:"kind,omitempty"`
+}
+
+type jsonNode struct {
+	Name    string              `json:"name"`
+	OpType  string              `json:"op"`
+	Inputs  []string            `json:"inputs"`
+	Outputs []string            `json:"outputs"`
+	Attrs   map[string]jsonAttr `json:"attrs,omitempty"`
+}
+
+type jsonAttr struct {
+	Kind string     `json:"kind"`
+	I    int64      `json:"i,omitempty"`
+	Ints []int64    `json:"ints,omitempty"`
+	F    float64    `json:"f,omitempty"`
+	S    string     `json:"s,omitempty"`
+	G    *jsonGraph `json:"g,omitempty"`
+}
+
+type jsonTensor struct {
+	DType string    `json:"dtype"`
+	Shape []int64   `json:"shape"`
+	F     []float32 `json:"f,omitempty"`
+	I     []int64   `json:"i,omitempty"`
+	B     []bool    `json:"b,omitempty"`
+}
+
+func dtypeName(d tensor.DType) string { return d.String() }
+
+func dtypeFromName(s string) (tensor.DType, error) {
+	switch s {
+	case "float32":
+		return tensor.Float32, nil
+	case "int64":
+		return tensor.Int64, nil
+	case "bool":
+		return tensor.Bool, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown dtype %q", s)
+	}
+}
+
+func shapeToJSON(s lattice.Shape) ([]string, string) {
+	switch s.Kind {
+	case lattice.ShapeUndef:
+		return nil, "undef"
+	case lattice.ShapeNAC:
+		return nil, "nac"
+	}
+	out := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		switch d.Kind {
+		case lattice.DimUndef:
+			out[i] = "?"
+		case lattice.DimNAC:
+			out[i] = "⊥"
+		default:
+			out[i] = d.E.String()
+		}
+	}
+	return out, "ranked"
+}
+
+func shapeFromJSON(dims []string, kind string) (lattice.Shape, error) {
+	switch kind {
+	case "undef", "":
+		if dims == nil {
+			if kind == "undef" {
+				return lattice.UndefShape(), nil
+			}
+		}
+	case "nac":
+		return lattice.NACShape(), nil
+	}
+	out := make([]lattice.Dim, len(dims))
+	for i, ds := range dims {
+		switch ds {
+		case "?":
+			out[i] = lattice.Undef()
+		case "⊥":
+			out[i] = lattice.NAC()
+		default:
+			var v int64
+			if _, err := fmt.Sscanf(ds, "%d", &v); err == nil && fmt.Sprintf("%d", v) == ds {
+				out[i] = lattice.FromInt(v)
+			} else {
+				// Symbolic or compound: round-trip as a symbol. Simple
+				// names stay identical; compound expressions become
+				// opaque fresh symbols (their structure is not needed
+				// at the model boundary).
+				out[i] = lattice.FromExpr(symbolic.NewSym(ds))
+			}
+		}
+	}
+	return lattice.Ranked(out...), nil
+}
+
+func tensorToJSON(t *tensor.Tensor) jsonTensor {
+	return jsonTensor{DType: dtypeName(t.DType), Shape: t.Shape, F: t.F, I: t.I, B: t.B}
+}
+
+func tensorFromJSON(j jsonTensor) (*tensor.Tensor, error) {
+	dt, err := dtypeFromName(j.DType)
+	if err != nil {
+		return nil, err
+	}
+	t := &tensor.Tensor{DType: dt, Shape: j.Shape, F: j.F, I: j.I, B: j.B}
+	want := tensor.NumElems(j.Shape)
+	var got int64
+	switch dt {
+	case tensor.Float32:
+		got = int64(len(j.F))
+	case tensor.Int64:
+		got = int64(len(j.I))
+	case tensor.Bool:
+		got = int64(len(j.B))
+	}
+	if got != want {
+		return nil, fmt.Errorf("graph: tensor payload %d != shape %v", got, j.Shape)
+	}
+	return t, nil
+}
+
+func (g *Graph) toJSON() *jsonGraph {
+	j := &jsonGraph{Name: g.Name, Outputs: g.Outputs}
+	for _, in := range g.Inputs {
+		dims, kind := shapeToJSON(in.Shape)
+		j.Inputs = append(j.Inputs, jsonValueDef{
+			Name: in.Name, DType: dtypeName(in.DType), Shape: dims, Kind: kind})
+	}
+	if len(g.Initializers) > 0 {
+		j.Initializers = map[string]jsonTensor{}
+		for name, t := range g.Initializers {
+			j.Initializers[name] = tensorToJSON(t)
+		}
+	}
+	for _, n := range g.Nodes {
+		jn := jsonNode{Name: n.Name, OpType: n.OpType, Inputs: n.Inputs, Outputs: n.Outputs}
+		if len(n.Attrs) > 0 {
+			jn.Attrs = map[string]jsonAttr{}
+			for k, a := range n.Attrs {
+				ja := jsonAttr{}
+				switch a.Kind {
+				case AttrInt:
+					ja.Kind, ja.I = "int", a.I
+				case AttrInts:
+					ja.Kind, ja.Ints = "ints", a.Ints
+				case AttrFloat:
+					ja.Kind, ja.F = "float", a.F
+				case AttrString:
+					ja.Kind, ja.S = "string", a.S
+				case AttrGraph:
+					ja.Kind = "graph"
+					if a.G != nil {
+						ja.G = a.G.toJSON()
+					}
+				}
+				jn.Attrs[k] = ja
+			}
+		}
+		j.Nodes = append(j.Nodes, jn)
+	}
+	return j
+}
+
+func graphFromJSON(j *jsonGraph) (*Graph, error) {
+	g := New(j.Name)
+	g.Outputs = j.Outputs
+	for _, in := range j.Inputs {
+		dt, err := dtypeFromName(in.DType)
+		if err != nil {
+			return nil, err
+		}
+		s, err := shapeFromJSON(in.Shape, in.Kind)
+		if err != nil {
+			return nil, err
+		}
+		g.AddInput(in.Name, dt, s)
+	}
+	for name, jt := range j.Initializers {
+		t, err := tensorFromJSON(jt)
+		if err != nil {
+			return nil, fmt.Errorf("initializer %s: %w", name, err)
+		}
+		g.AddInitializer(name, t)
+	}
+	for _, jn := range j.Nodes {
+		attrs := map[string]AttrValue{}
+		for k, ja := range jn.Attrs {
+			switch ja.Kind {
+			case "int":
+				attrs[k] = IntAttr(ja.I)
+			case "ints":
+				attrs[k] = IntsAttr(ja.Ints...)
+			case "float":
+				attrs[k] = FloatAttr(ja.F)
+			case "string":
+				attrs[k] = StringAttr(ja.S)
+			case "graph":
+				if ja.G != nil {
+					sub, err := graphFromJSON(ja.G)
+					if err != nil {
+						return nil, fmt.Errorf("node %s attr %s: %w", jn.Name, k, err)
+					}
+					attrs[k] = GraphAttr(sub)
+				}
+			default:
+				return nil, fmt.Errorf("node %s: unknown attr kind %q", jn.Name, ja.Kind)
+			}
+		}
+		g.Op(jn.OpType, jn.Name, jn.Inputs, jn.Outputs, attrs)
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the graph (with initializers and subgraphs).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g.toJSON())
+}
+
+// ReadJSON deserializes a graph written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var j jsonGraph
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g, err := graphFromJSON(&j)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,423 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// binF applies a float binary op with NumPy broadcasting.
+func binF(op func(a, b float32) float32) func(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+	return func(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+		shape, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(tensor.Float32, shape...)
+		n := out.Len()
+		if tensor.SameShape(x.Shape, shape) && tensor.SameShape(y.Shape, shape) {
+			for i := int64(0); i < n; i++ {
+				out.F[i] = op(x.F[i], y.F[i])
+			}
+			return out, nil
+		}
+		for i := int64(0); i < n; i++ {
+			out.F[i] = op(x.F[tensor.BroadcastIndex(x.Shape, shape, i)], y.F[tensor.BroadcastIndex(y.Shape, shape, i)])
+		}
+		return out, nil
+	}
+}
+
+func binI(op func(a, b int64) int64) func(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+	return func(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+		shape, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(tensor.Int64, shape...)
+		for i := int64(0); i < out.Len(); i++ {
+			out.I[i] = op(x.I[tensor.BroadcastIndex(x.Shape, shape, i)], y.I[tensor.BroadcastIndex(y.Shape, shape, i)])
+		}
+		return out, nil
+	}
+}
+
+// registerArith registers a kernel supporting float32 and int64 operands.
+func registerArith(name string, fop func(a, b float32) float32, iop func(a, b int64) int64) {
+	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 2, name); err != nil {
+			return nil, err
+		}
+		x, y := in[0], in[1]
+		switch {
+		case x.DType == tensor.Float32 && y.DType == tensor.Float32:
+			out, err := binF(fop)(x, y)
+			return []*tensor.Tensor{out}, err
+		case x.DType == tensor.Int64 && y.DType == tensor.Int64 && iop != nil:
+			out, err := binI(iop)(x, y)
+			return []*tensor.Tensor{out}, err
+		default:
+			return nil, fmt.Errorf("%s: unsupported dtypes %v,%v", name, x.DType, y.DType)
+		}
+	})
+}
+
+// registerCompare registers a comparison producing a bool tensor.
+func registerCompare(name string, fop func(a, b float32) bool, iop func(a, b int64) bool) {
+	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 2, name); err != nil {
+			return nil, err
+		}
+		x, y := in[0], in[1]
+		shape, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(tensor.Bool, shape...)
+		for i := int64(0); i < out.Len(); i++ {
+			xi := tensor.BroadcastIndex(x.Shape, shape, i)
+			yi := tensor.BroadcastIndex(y.Shape, shape, i)
+			switch x.DType {
+			case tensor.Float32:
+				out.B[i] = fop(x.F[xi], y.F[yi])
+			case tensor.Int64:
+				out.B[i] = iop(x.I[xi], y.I[yi])
+			default:
+				return nil, fmt.Errorf("%s: unsupported dtype %v", name, x.DType)
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+}
+
+// registerUnaryF registers a float unary map kernel.
+func registerUnaryF(name string, op func(v float32) float32) {
+	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, name); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		out := tensor.New(tensor.Float32, x.Shape...)
+		for i, v := range x.F {
+			out.F[i] = op(v)
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+}
+
+func sigmoid(v float32) float32 { return float32(1 / (1 + math.Exp(-float64(v)))) }
+
+func erf(v float64) float64 { return math.Erf(v) }
+
+func init() {
+	registerArith("Add", func(a, b float32) float32 { return a + b }, func(a, b int64) int64 { return a + b })
+	registerArith("Sub", func(a, b float32) float32 { return a - b }, func(a, b int64) int64 { return a - b })
+	registerArith("Mul", func(a, b float32) float32 { return a * b }, func(a, b int64) int64 { return a * b })
+	registerArith("Div", func(a, b float32) float32 { return a / b }, func(a, b int64) int64 {
+		if b == 0 {
+			return 0
+		}
+		q := a / b
+		if a%b != 0 && (a < 0) != (b < 0) {
+			q--
+		}
+		return q
+	})
+	registerArith("Mod", func(a, b float32) float32 { return float32(math.Mod(float64(a), float64(b))) }, func(a, b int64) int64 {
+		if b == 0 {
+			return 0
+		}
+		m := a % b
+		if m != 0 && (m < 0) != (b < 0) {
+			m += b
+		}
+		return m
+	})
+	registerArith("Pow", func(a, b float32) float32 { return float32(math.Pow(float64(a), float64(b))) }, nil)
+	registerArith("Min", func(a, b float32) float32 {
+		if a < b {
+			return a
+		}
+		return b
+	}, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	registerArith("Max", func(a, b float32) float32 {
+		if a > b {
+			return a
+		}
+		return b
+	}, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	registerArith("PRelu", func(a, b float32) float32 {
+		if a >= 0 {
+			return a
+		}
+		return a * b
+	}, nil)
+
+	registerCompare("Equal", func(a, b float32) bool { return a == b }, func(a, b int64) bool { return a == b })
+	registerCompare("Greater", func(a, b float32) bool { return a > b }, func(a, b int64) bool { return a > b })
+	registerCompare("GreaterOrEqual", func(a, b float32) bool { return a >= b }, func(a, b int64) bool { return a >= b })
+	registerCompare("Less", func(a, b float32) bool { return a < b }, func(a, b int64) bool { return a < b })
+	registerCompare("LessOrEqual", func(a, b float32) bool { return a <= b }, func(a, b int64) bool { return a <= b })
+
+	register("And", boolBinary(func(a, b bool) bool { return a && b }))
+	register("Or", boolBinary(func(a, b bool) bool { return a || b }))
+	register("Xor", boolBinary(func(a, b bool) bool { return a != b }))
+
+	registerUnaryF("Relu", func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	registerUnaryF("Sigmoid", sigmoid)
+	registerUnaryF("Tanh", func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	registerUnaryF("Exp", func(v float32) float32 { return float32(math.Exp(float64(v))) })
+	registerUnaryF("Log", func(v float32) float32 { return float32(math.Log(float64(v))) })
+	registerUnaryF("Sqrt", func(v float32) float32 { return float32(math.Sqrt(float64(v))) })
+	registerUnaryF("Reciprocal", func(v float32) float32 { return 1 / v })
+	registerUnaryF("Neg", func(v float32) float32 { return -v })
+	registerUnaryF("Abs", func(v float32) float32 { return float32(math.Abs(float64(v))) })
+	registerUnaryF("Floor", func(v float32) float32 { return float32(math.Floor(float64(v))) })
+	registerUnaryF("Ceil", func(v float32) float32 { return float32(math.Ceil(float64(v))) })
+	registerUnaryF("Round", func(v float32) float32 { return float32(math.RoundToEven(float64(v))) })
+	registerUnaryF("Sign", func(v float32) float32 {
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+	registerUnaryF("Erf", func(v float32) float32 { return float32(erf(float64(v))) })
+	registerUnaryF("Gelu", func(v float32) float32 {
+		return float32(0.5 * float64(v) * (1 + erf(float64(v)/math.Sqrt2)))
+	})
+	registerUnaryF("Silu", func(v float32) float32 { return v * sigmoid(v) })
+	registerUnaryF("HardSigmoid", func(v float32) float32 {
+		h := 0.2*v + 0.5
+		if h < 0 {
+			return 0
+		}
+		if h > 1 {
+			return 1
+		}
+		return h
+	})
+	registerUnaryF("HardSwish", func(v float32) float32 {
+		h := (v + 3) / 6
+		if h < 0 {
+			h = 0
+		}
+		if h > 1 {
+			h = 1
+		}
+		return v * h
+	})
+	registerUnaryF("Softplus", func(v float32) float32 { return float32(math.Log1p(math.Exp(float64(v)))) })
+	registerUnaryF("Mish", func(v float32) float32 {
+		return v * float32(math.Tanh(math.Log1p(math.Exp(float64(v)))))
+	})
+	registerUnaryF("Elu", func(v float32) float32 {
+		if v >= 0 {
+			return v
+		}
+		return float32(math.Exp(float64(v)) - 1)
+	})
+	registerUnaryF("Selu", func(v float32) float32 {
+		const alpha, scale = 1.6732632, 1.0507010
+		if v > 0 {
+			return scale * v
+		}
+		return float32(scale * (alpha*math.Exp(float64(v)) - alpha))
+	})
+
+	register("LeakyRelu", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "LeakyRelu"); err != nil {
+			return nil, err
+		}
+		alpha := float32(n.AttrFloat("alpha", 0.01))
+		x := in[0]
+		out := tensor.New(tensor.Float32, x.Shape...)
+		for i, v := range x.F {
+			if v >= 0 {
+				out.F[i] = v
+			} else {
+				out.F[i] = alpha * v
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+
+	register("Clip", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "Clip"); err != nil {
+			return nil, err
+		}
+		lo := float32(n.AttrFloat("min", math.Inf(-1)))
+		hi := float32(n.AttrFloat("max", math.Inf(1)))
+		if len(in) > 1 && in[1] != nil && len(in[1].F) == 1 {
+			lo = in[1].F[0]
+		}
+		if len(in) > 2 && in[2] != nil && len(in[2].F) == 1 {
+			hi = in[2].F[0]
+		}
+		x := in[0]
+		out := tensor.New(tensor.Float32, x.Shape...)
+		for i, v := range x.F {
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			out.F[i] = v
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+
+	register("Not", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "Not"); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		out := tensor.New(tensor.Bool, x.Shape...)
+		for i, v := range x.B {
+			out.B[i] = !v
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+
+	register("Identity", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "Identity"); err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{in[0].Clone()}, nil
+	})
+	register("Dropout", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "Dropout"); err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{in[0].Clone()}, nil
+	})
+
+	register("Cast", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "Cast"); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		to := n.AttrString("to", "float32")
+		out := tensor.New(dtypeFromName(to), x.Shape...)
+		for i := int64(0); i < x.Len(); i++ {
+			var v float64
+			switch x.DType {
+			case tensor.Float32:
+				v = float64(x.F[i])
+			case tensor.Int64:
+				v = float64(x.I[i])
+			case tensor.Bool:
+				if x.B[i] {
+					v = 1
+				}
+			}
+			switch out.DType {
+			case tensor.Float32:
+				out.F[i] = float32(v)
+			case tensor.Int64:
+				out.I[i] = int64(v)
+			case tensor.Bool:
+				out.B[i] = v != 0
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+
+	register("Where", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 3, "Where"); err != nil {
+			return nil, err
+		}
+		cond, x, y := in[0], in[1], in[2]
+		s1, err := tensor.BroadcastShapes(cond.Shape, x.Shape)
+		if err != nil {
+			return nil, err
+		}
+		shape, err := tensor.BroadcastShapes(s1, y.Shape)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(x.DType, shape...)
+		for i := int64(0); i < out.Len(); i++ {
+			c := cond.B[tensor.BroadcastIndex(cond.Shape, shape, i)]
+			xi := tensor.BroadcastIndex(x.Shape, shape, i)
+			yi := tensor.BroadcastIndex(y.Shape, shape, i)
+			switch x.DType {
+			case tensor.Float32:
+				if c {
+					out.F[i] = x.F[xi]
+				} else {
+					out.F[i] = y.F[yi]
+				}
+			case tensor.Int64:
+				if c {
+					out.I[i] = x.I[xi]
+				} else {
+					out.I[i] = y.I[yi]
+				}
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+
+	register("IsNaN", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, "IsNaN"); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		out := tensor.New(tensor.Bool, x.Shape...)
+		for i, v := range x.F {
+			out.B[i] = math.IsNaN(float64(v))
+		}
+		return []*tensor.Tensor{out}, nil
+	})
+}
+
+func boolBinary(op func(a, b bool) bool) Kernel {
+	return func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 2, n.OpType); err != nil {
+			return nil, err
+		}
+		x, y := in[0], in[1]
+		shape, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(tensor.Bool, shape...)
+		for i := int64(0); i < out.Len(); i++ {
+			out.B[i] = op(x.B[tensor.BroadcastIndex(x.Shape, shape, i)], y.B[tensor.BroadcastIndex(y.Shape, shape, i)])
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+func dtypeFromName(s string) tensor.DType {
+	switch s {
+	case "int64":
+		return tensor.Int64
+	case "bool":
+		return tensor.Bool
+	default:
+		return tensor.Float32
+	}
+}

@@ -1,0 +1,64 @@
+// Package kernels implements real CPU reference kernels for every
+// operator in the registry. The executor runs them to produce actual
+// tensor values; testing.B benchmarks measure their wall-clock behaviour;
+// and the multi-version code generation (MVC) subsystem selects among the
+// GEMM/CONV variants in this package.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Kernel executes one operator over concrete inputs, returning freshly
+// allocated outputs.
+type Kernel func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error)
+
+var kernels = map[string]Kernel{}
+
+// register installs a kernel; duplicates panic at init time.
+func register(op string, k Kernel) {
+	if _, dup := kernels[op]; dup {
+		panic("kernels: duplicate " + op)
+	}
+	kernels[op] = k
+}
+
+// Has reports whether an executable kernel exists for the op type.
+func Has(op string) bool {
+	_, ok := kernels[op]
+	return ok
+}
+
+// Run executes the node's kernel.
+func Run(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	k, ok := kernels[n.OpType]
+	if !ok {
+		return nil, fmt.Errorf("kernels: no kernel for %s", n.OpType)
+	}
+	out, err := k(n, in)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s(%s): %w", n.OpType, n.Name, err)
+	}
+	return out, nil
+}
+
+// Types lists all op types with kernels, sorted.
+func Types() []string {
+	out := make([]string, 0, len(kernels))
+	for t := range kernels {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantInputs(in []*tensor.Tensor, n int, op string) error {
+	if len(in) < n {
+		return fmt.Errorf("%s: want %d inputs, got %d", op, n, len(in))
+	}
+	return nil
+}

@@ -1,0 +1,487 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func mkNode(op string, attrs map[string]graph.AttrValue, nOut int) *graph.Node {
+	if attrs == nil {
+		attrs = map[string]graph.AttrValue{}
+	}
+	outs := make([]string, nOut)
+	for i := range outs {
+		outs[i] = "o"
+	}
+	return &graph.Node{Name: "k", OpType: op, Outputs: outs, Attrs: attrs}
+}
+
+func run1(t *testing.T, op string, attrs map[string]graph.AttrValue, in ...*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	out, err := Run(mkNode(op, attrs, 1), in)
+	if err != nil {
+		t.Fatalf("%s: %v", op, err)
+	}
+	return out[0]
+}
+
+func TestAddBroadcast(t *testing.T) {
+	x := tensor.FromFloats([]int64{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	y := tensor.FromFloats([]int64{3}, []float32{10, 20, 30})
+	got := run1(t, "Add", nil, x, y)
+	want := tensor.FromFloats([]int64{2, 3}, []float32{11, 22, 33, 14, 25, 36})
+	if !tensor.AllClose(got, want, 1e-6) {
+		t.Errorf("got %v", got.F)
+	}
+}
+
+func TestIntArithmetic(t *testing.T) {
+	x := tensor.FromInts([]int64{3}, []int64{7, -7, 9})
+	y := tensor.FromInts([]int64{3}, []int64{2, 2, 3})
+	div := run1(t, "Div", nil, x, y)
+	if div.I[0] != 3 || div.I[1] != -4 || div.I[2] != 3 {
+		t.Errorf("floor div = %v", div.I)
+	}
+	mod := run1(t, "Mod", nil, x, y)
+	if mod.I[0] != 1 || mod.I[1] != 1 {
+		t.Errorf("mod = %v", mod.I)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	x := tensor.FromFloats([]int64{3}, []float32{-1, 0, 2})
+	relu := run1(t, "Relu", nil, x)
+	if relu.F[0] != 0 || relu.F[2] != 2 {
+		t.Errorf("relu = %v", relu.F)
+	}
+	sig := run1(t, "Sigmoid", nil, x)
+	if math.Abs(float64(sig.F[1])-0.5) > 1e-6 {
+		t.Errorf("sigmoid(0) = %f", sig.F[1])
+	}
+	lr := run1(t, "LeakyRelu", map[string]graph.AttrValue{"alpha": graph.FloatAttr(0.1)}, x)
+	if math.Abs(float64(lr.F[0])+0.1) > 1e-6 {
+		t.Errorf("leakyrelu = %v", lr.F)
+	}
+	gelu := run1(t, "Gelu", nil, tensor.FromFloats([]int64{1}, []float32{0}))
+	if gelu.F[0] != 0 {
+		t.Errorf("gelu(0) = %f", gelu.F[0])
+	}
+}
+
+func TestCompareAndWhere(t *testing.T) {
+	x := tensor.FromFloats([]int64{3}, []float32{1, 5, 3})
+	y := tensor.FromFloats([]int64{3}, []float32{2, 2, 3})
+	gt := run1(t, "Greater", nil, x, y)
+	if gt.B[0] || !gt.B[1] || gt.B[2] {
+		t.Errorf("greater = %v", gt.B)
+	}
+	w := run1(t, "Where", nil, gt, x, y)
+	if w.F[0] != 2 || w.F[1] != 5 || w.F[2] != 3 {
+		t.Errorf("where = %v", w.F)
+	}
+}
+
+func TestCast(t *testing.T) {
+	x := tensor.FromFloats([]int64{2}, []float32{1.7, 0})
+	i := run1(t, "Cast", map[string]graph.AttrValue{"to": graph.StringAttr("int64")}, x)
+	if i.I[0] != 1 || i.I[1] != 0 {
+		t.Errorf("cast = %v", i.I)
+	}
+	b := run1(t, "Cast", map[string]graph.AttrValue{"to": graph.StringAttr("bool")}, x)
+	if !b.B[0] || b.B[1] {
+		t.Errorf("cast bool = %v", b.B)
+	}
+}
+
+// All GEMM variants must agree with the naive implementation.
+func TestGemmVariantsAgree(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m, k, n := int64(17), int64(23), int64(9)
+	a := tensor.RandomFloats(rng, 1, m, k)
+	b := tensor.RandomFloats(rng, 1, k, n)
+	ref := make([]float32, m*n)
+	Gemm(GemmNaive, a.F, b.F, m, k, n, ref)
+	for _, v := range GemmVariants()[1:] {
+		c := make([]float32, m*n)
+		Gemm(v, a.F, b.F, m, k, n, c)
+		for i := range ref {
+			if math.Abs(float64(ref[i]-c[i])) > 1e-3 {
+				t.Fatalf("variant %v disagrees at %d: %f vs %f", v, i, c[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSelectGemmVariant(t *testing.T) {
+	if SelectGemmVariant(4, 4, 4) != GemmTiny {
+		t.Error("tiny")
+	}
+	if SelectGemmVariant(1024, 64, 8) != GemmRowMajorFat {
+		t.Error("fat")
+	}
+	if SelectGemmVariant(8, 64, 1024) != GemmColMajorSkinny {
+		t.Error("skinny")
+	}
+	if SelectGemmVariant(256, 256, 256) != GemmTiledRegular {
+		t.Error("regular")
+	}
+}
+
+func TestMatMulBatchBroadcast(t *testing.T) {
+	a := tensor.FromFloats([]int64{2, 2, 3}, []float32{1, 0, 0, 0, 1, 0, 2, 0, 0, 0, 2, 0})
+	b := tensor.FromFloats([]int64{3, 2}, []float32{1, 2, 3, 4, 5, 6})
+	got := run1(t, "MatMul", nil, a, b)
+	if !tensor.SameShape(got.Shape, []int64{2, 2, 2}) {
+		t.Fatalf("shape %v", got.Shape)
+	}
+	// first batch picks rows of b; second batch doubles them
+	if got.F[0] != 1 || got.F[1] != 2 || got.F[2] != 3 || got.F[3] != 4 {
+		t.Errorf("batch0 = %v", got.F[:4])
+	}
+	if got.F[4] != 2 || got.F[7] != 8 {
+		t.Errorf("batch1 = %v", got.F[4:])
+	}
+}
+
+func TestGemmTransposeAndBias(t *testing.T) {
+	a := tensor.FromFloats([]int64{3, 2}, []float32{1, 4, 2, 5, 3, 6}) // transA -> [2,3]
+	b := tensor.FromFloats([]int64{3, 4}, []float32{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0})
+	c := tensor.FromFloats([]int64{4}, []float32{10, 10, 10, 10})
+	got := run1(t, "Gemm", map[string]graph.AttrValue{"transA": graph.IntAttr(1)}, a, b, c)
+	if !tensor.SameShape(got.Shape, []int64{2, 4}) {
+		t.Fatalf("shape %v", got.Shape)
+	}
+	if got.F[0] != 11 || got.F[1] != 12 || got.F[2] != 13 || got.F[3] != 10 {
+		t.Errorf("row0 = %v", got.F[:4])
+	}
+}
+
+// Conv direct and im2col must agree.
+func TestConvVariantsAgree(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := tensor.RandomFloats(rng, 1, 1, 3, 8, 8)
+	w := tensor.RandomFloats(rng, 1, 4, 3, 3, 3)
+	attrs := map[string]graph.AttrValue{
+		"pads": graph.IntsAttr(1, 1, 1, 1), "strides": graph.IntsAttr(2, 2),
+	}
+	direct := run1(t, "Conv", withAttr(attrs, "conv_variant", graph.IntAttr(int64(ConvDirect))), x, w)
+	im2col := run1(t, "Conv", withAttr(attrs, "conv_variant", graph.IntAttr(int64(ConvIm2col))), x, w)
+	if !tensor.SameShape(direct.Shape, []int64{1, 4, 4, 4}) {
+		t.Fatalf("conv shape %v", direct.Shape)
+	}
+	if !tensor.AllClose(direct, im2col, 1e-3) {
+		t.Error("conv variants disagree")
+	}
+}
+
+func withAttr(base map[string]graph.AttrValue, k string, v graph.AttrValue) map[string]graph.AttrValue {
+	out := map[string]graph.AttrValue{k: v}
+	for kk, vv := range base {
+		out[kk] = vv
+	}
+	return out
+}
+
+func TestGroupedConv(t *testing.T) {
+	// Depthwise: group == cin, each filter sees one channel.
+	x := tensor.FromFloats([]int64{1, 2, 2, 2}, []float32{1, 2, 3, 4, 10, 20, 30, 40})
+	w := tensor.FromFloats([]int64{2, 1, 1, 1}, []float32{2, 3})
+	got := run1(t, "Conv", map[string]graph.AttrValue{"group": graph.IntAttr(2)}, x, w)
+	want := []float32{2, 4, 6, 8, 30, 60, 90, 120}
+	for i, v := range want {
+		if got.F[i] != v {
+			t.Fatalf("depthwise = %v", got.F)
+		}
+	}
+}
+
+func TestConvBias(t *testing.T) {
+	x := tensor.FromFloats([]int64{1, 1, 2, 2}, []float32{1, 1, 1, 1})
+	w := tensor.FromFloats([]int64{1, 1, 1, 1}, []float32{1})
+	b := tensor.FromFloats([]int64{1}, []float32{5})
+	got := run1(t, "Conv", nil, x, w, b)
+	if got.F[0] != 6 {
+		t.Errorf("bias = %v", got.F)
+	}
+}
+
+func TestPooling(t *testing.T) {
+	x := tensor.FromFloats([]int64{1, 1, 2, 2}, []float32{1, 2, 3, 4})
+	mx := run1(t, "MaxPool", map[string]graph.AttrValue{
+		"kernel_shape": graph.IntsAttr(2, 2), "strides": graph.IntsAttr(2, 2)}, x)
+	if mx.F[0] != 4 {
+		t.Errorf("maxpool = %v", mx.F)
+	}
+	av := run1(t, "AveragePool", map[string]graph.AttrValue{
+		"kernel_shape": graph.IntsAttr(2, 2), "strides": graph.IntsAttr(2, 2)}, x)
+	if av.F[0] != 2.5 {
+		t.Errorf("avgpool = %v", av.F)
+	}
+	gl := run1(t, "GlobalAveragePool", nil, x)
+	if !tensor.SameShape(gl.Shape, []int64{1, 1, 1, 1}) || gl.F[0] != 2.5 {
+		t.Errorf("global = %v %v", gl.Shape, gl.F)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	x := tensor.RandomFloats(rng, 3, 4, 7)
+	s := run1(t, "Softmax", nil, x)
+	for r := 0; r < 4; r++ {
+		var sum float64
+		for c := 0; c < 7; c++ {
+			sum += float64(s.F[r*7+c])
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("row %d sums to %f", r, sum)
+		}
+	}
+}
+
+func TestLayerNormZeroMeanUnitVar(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	x := tensor.RandomFloats(rng, 5, 3, 16)
+	out := run1(t, "LayerNormalization", nil, x)
+	for r := 0; r < 3; r++ {
+		var mean, variance float64
+		for c := 0; c < 16; c++ {
+			mean += float64(out.F[r*16+c])
+		}
+		mean /= 16
+		for c := 0; c < 16; c++ {
+			d := float64(out.F[r*16+c]) - mean
+			variance += d * d
+		}
+		variance /= 16
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Errorf("row %d: mean=%f var=%f", r, mean, variance)
+		}
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	x := tensor.FromFloats([]int64{1, 2, 1, 2}, []float32{1, 2, 3, 4})
+	scale := tensor.FromFloats([]int64{2}, []float32{1, 2})
+	bias := tensor.FromFloats([]int64{2}, []float32{0, 1})
+	mean := tensor.FromFloats([]int64{2}, []float32{1.5, 3.5})
+	va := tensor.FromFloats([]int64{2}, []float32{1, 1})
+	out := run1(t, "BatchNormalization", nil, x, scale, bias, mean, va)
+	if math.Abs(float64(out.F[0])+0.5) > 1e-3 || math.Abs(float64(out.F[2])+0.0) > 1.1 {
+		t.Errorf("bn = %v", out.F)
+	}
+}
+
+func TestMovementOps(t *testing.T) {
+	x := tensor.FromFloats([]int64{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+
+	shp := run1(t, "Shape", nil, x)
+	if shp.I[0] != 2 || shp.I[1] != 3 {
+		t.Errorf("shape = %v", shp.I)
+	}
+
+	rs := run1(t, "Reshape", nil, x, tensor.FromInts([]int64{2}, []int64{3, -1}))
+	if !tensor.SameShape(rs.Shape, []int64{3, 2}) {
+		t.Errorf("reshape = %v", rs.Shape)
+	}
+
+	tp := run1(t, "Transpose", nil, x)
+	if !tensor.SameShape(tp.Shape, []int64{3, 2}) || tp.F[1] != 4 {
+		t.Errorf("transpose = %v %v", tp.Shape, tp.F)
+	}
+
+	cc := run1(t, "Concat", map[string]graph.AttrValue{"axis": graph.IntAttr(1)}, x, x)
+	if !tensor.SameShape(cc.Shape, []int64{2, 6}) || cc.F[3] != 1 {
+		t.Errorf("concat = %v %v", cc.Shape, cc.F)
+	}
+
+	g := run1(t, "Gather", nil, x, tensor.FromInts([]int64{1}, []int64{1}))
+	if !tensor.SameShape(g.Shape, []int64{1, 3}) || g.F[0] != 4 {
+		t.Errorf("gather = %v %v", g.Shape, g.F)
+	}
+
+	sl := run1(t, "Slice", nil, x,
+		tensor.FromInts([]int64{1}, []int64{1}),
+		tensor.FromInts([]int64{1}, []int64{3}),
+		tensor.FromInts([]int64{1}, []int64{1}))
+	if !tensor.SameShape(sl.Shape, []int64{2, 2}) || sl.F[0] != 2 {
+		t.Errorf("slice = %v %v", sl.Shape, sl.F)
+	}
+
+	fl := run1(t, "Flatten", nil, tensor.New(tensor.Float32, 2, 3, 4))
+	if !tensor.SameShape(fl.Shape, []int64{2, 12}) {
+		t.Errorf("flatten = %v", fl.Shape)
+	}
+
+	ex := run1(t, "Expand", nil, tensor.FromFloats([]int64{1, 3}, []float32{1, 2, 3}),
+		tensor.FromInts([]int64{2}, []int64{2, 3}))
+	if !tensor.SameShape(ex.Shape, []int64{2, 3}) || ex.F[3] != 1 {
+		t.Errorf("expand = %v %v", ex.Shape, ex.F)
+	}
+}
+
+func TestSplitKernel(t *testing.T) {
+	x := tensor.FromFloats([]int64{2, 4}, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	n := &graph.Node{Name: "s", OpType: "Split", Outputs: []string{"a", "b"},
+		Attrs: map[string]graph.AttrValue{"axis": graph.IntAttr(1)}}
+	out, err := Run(n, []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || !tensor.SameShape(out[0].Shape, []int64{2, 2}) {
+		t.Fatalf("split shapes: %v", out[0].Shape)
+	}
+	if out[1].F[0] != 3 || out[1].F[2] != 7 {
+		t.Errorf("split[1] = %v", out[1].F)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	x := tensor.FromFloats([]int64{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	mean := run1(t, "ReduceMean", map[string]graph.AttrValue{"axes": graph.IntsAttr(1)}, x)
+	if !tensor.SameShape(mean.Shape, []int64{2, 1}) || mean.F[0] != 2 || mean.F[1] != 5 {
+		t.Errorf("mean = %v %v", mean.Shape, mean.F)
+	}
+	sum := run1(t, "ReduceSum", map[string]graph.AttrValue{"axes": graph.IntsAttr(0), "keepdims": graph.IntAttr(0)}, x)
+	if !tensor.SameShape(sum.Shape, []int64{3}) || sum.F[0] != 5 {
+		t.Errorf("sum = %v %v", sum.Shape, sum.F)
+	}
+	mx := run1(t, "ReduceMax", nil, x)
+	if mx.F[0] != 6 {
+		t.Errorf("max = %v", mx.F)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x := tensor.FromFloats([]int64{2, 3}, []float32{1, 9, 3, 7, 5, 6})
+	am := run1(t, "ArgMax", map[string]graph.AttrValue{"axis": graph.IntAttr(1), "keepdims": graph.IntAttr(0)}, x)
+	if am.I[0] != 1 || am.I[1] != 0 {
+		t.Errorf("argmax = %v", am.I)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := tensor.FromFloats([]int64{1, 5}, []float32{3, 1, 4, 1, 5})
+	n := &graph.Node{Name: "t", OpType: "TopK", Outputs: []string{"v", "i"},
+		Attrs: map[string]graph.AttrValue{}}
+	out, err := Run(n, []*tensor.Tensor{x, tensor.FromInts([]int64{1}, []int64{2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F[0] != 5 || out[0].F[1] != 4 {
+		t.Errorf("topk vals = %v", out[0].F)
+	}
+	if out[1].I[0] != 4 || out[1].I[1] != 2 {
+		t.Errorf("topk idx = %v", out[1].I)
+	}
+}
+
+func TestRangeNonZeroPadTile(t *testing.T) {
+	r := run1(t, "Range", nil, tensor.ScalarInt(2), tensor.ScalarInt(8), tensor.ScalarInt(3))
+	if r.Len() != 2 || r.I[0] != 2 || r.I[1] != 5 {
+		t.Errorf("range = %v", r.I)
+	}
+
+	nz := run1(t, "NonZero", nil, tensor.FromFloats([]int64{2, 2}, []float32{1, 0, 0, 2}))
+	if !tensor.SameShape(nz.Shape, []int64{2, 2}) {
+		t.Fatalf("nonzero shape %v", nz.Shape)
+	}
+	if nz.I[0] != 0 || nz.I[1] != 1 || nz.I[2] != 0 || nz.I[3] != 1 {
+		t.Errorf("nonzero = %v", nz.I)
+	}
+
+	pd := run1(t, "Pad", map[string]graph.AttrValue{"pads": graph.IntsAttr(0, 1, 0, 1)},
+		tensor.FromFloats([]int64{1, 2}, []float32{7, 8}))
+	if !tensor.SameShape(pd.Shape, []int64{1, 4}) || pd.F[0] != 0 || pd.F[1] != 7 {
+		t.Errorf("pad = %v %v", pd.Shape, pd.F)
+	}
+
+	tl := run1(t, "Tile", nil, tensor.FromFloats([]int64{1, 2}, []float32{1, 2}),
+		tensor.FromInts([]int64{2}, []int64{2, 2}))
+	if !tensor.SameShape(tl.Shape, []int64{2, 4}) || tl.F[5] != 2 {
+		t.Errorf("tile = %v %v", tl.Shape, tl.F)
+	}
+}
+
+func TestResizeNearest(t *testing.T) {
+	x := tensor.FromFloats([]int64{1, 1, 2, 2}, []float32{1, 2, 3, 4})
+	sizes := tensor.FromInts([]int64{4}, []int64{1, 1, 4, 4})
+	out, err := Run(&graph.Node{OpType: "Resize", Outputs: []string{"o"}, Attrs: map[string]graph.AttrValue{}},
+		[]*tensor.Tensor{x, nil, nil, sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(out[0].Shape, []int64{1, 1, 4, 4}) {
+		t.Fatalf("resize shape %v", out[0].Shape)
+	}
+	if out[0].F[0] != 1 || out[0].F[3] != 2 || out[0].F[15] != 4 {
+		t.Errorf("resize = %v", out[0].F)
+	}
+}
+
+func TestNMS(t *testing.T) {
+	boxes := tensor.FromFloats([]int64{1, 3, 4}, []float32{
+		0, 0, 10, 10,
+		1, 1, 11, 11, // heavy overlap with first
+		20, 20, 30, 30,
+	})
+	scores := tensor.FromFloats([]int64{1, 1, 3}, []float32{0.9, 0.8, 0.7})
+	out, err := Run(&graph.Node{OpType: "NonMaxSuppression", Outputs: []string{"o"}, Attrs: map[string]graph.AttrValue{}},
+		[]*tensor.Tensor{boxes, scores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Shape[0] != 2 {
+		t.Fatalf("nms selected %d boxes: %v", out[0].Shape[0], out[0].I)
+	}
+	if out[0].I[2] != 0 || out[0].I[5] != 2 {
+		t.Errorf("nms = %v", out[0].I)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	idx := tensor.FromInts([]int64{2}, []int64{1, 0})
+	out := run1(t, "OneHot", nil, idx, tensor.ScalarInt(3))
+	if !tensor.SameShape(out.Shape, []int64{2, 3}) || out.F[1] != 1 || out.F[3] != 1 {
+		t.Errorf("onehot = %v %v", out.Shape, out.F)
+	}
+}
+
+func TestEyeLike(t *testing.T) {
+	out := run1(t, "EyeLike", nil, tensor.New(tensor.Float32, 2, 3))
+	if out.F[0] != 1 || out.F[4] != 1 || out.F[1] != 0 {
+		t.Errorf("eyelike = %v", out.F)
+	}
+}
+
+func TestMissingKernel(t *testing.T) {
+	if _, err := Run(mkNode("NoSuchOp", nil, 1), nil); err == nil {
+		t.Error("expected error")
+	}
+	if Has("NoSuchOp") || !Has("Conv") {
+		t.Error("Has wrong")
+	}
+}
+
+// Property: Reshape→Reshape back is identity; Transpose twice with the
+// same permutation of rank 2 is identity.
+func TestQuickReshapeTransposeRoundTrip(t *testing.T) {
+	f := func(seed uint64, d0, d1 uint8) bool {
+		r, c := int64(d0%4+1), int64(d1%4+1)
+		x := tensor.RandomFloats(tensor.NewRNG(seed), 1, r, c)
+		rs := run1(t, "Reshape", nil, x, tensor.FromInts([]int64{1}, []int64{-1}))
+		back := run1(t, "Reshape", nil, rs, tensor.FromInts([]int64{2}, []int64{r, c}))
+		if !tensor.AllClose(x, back, 0) {
+			return false
+		}
+		tp := run1(t, "Transpose", nil, x)
+		tp2 := run1(t, "Transpose", nil, tp)
+		return tensor.AllClose(x, tp2, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

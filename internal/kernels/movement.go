@@ -1,0 +1,904 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func copyElem(dst *tensor.Tensor, di int64, src *tensor.Tensor, si int64) {
+	switch src.DType {
+	case tensor.Float32:
+		dst.F[di] = src.F[si]
+	case tensor.Int64:
+		dst.I[di] = src.I[si]
+	case tensor.Bool:
+		dst.B[di] = src.B[si]
+	}
+}
+
+func shapeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Shape"); err != nil {
+		return nil, err
+	}
+	return []*tensor.Tensor{tensor.FromInts([]int64{int64(in[0].Rank())}, append([]int64{}, in[0].Shape...))}, nil
+}
+
+func sizeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Size"); err != nil {
+		return nil, err
+	}
+	return []*tensor.Tensor{tensor.ScalarInt(in[0].Len())}, nil
+}
+
+func reshapeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 2, "Reshape"); err != nil {
+		return nil, err
+	}
+	x, target := in[0], in[1]
+	shape := append([]int64{}, target.I...)
+	total := x.Len()
+	inferIdx := -1
+	prod := int64(1)
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if inferIdx >= 0 {
+				return nil, fmt.Errorf("Reshape: multiple -1")
+			}
+			inferIdx = i
+		case d == 0:
+			if i >= x.Rank() {
+				return nil, fmt.Errorf("Reshape: 0-dim beyond input rank")
+			}
+			shape[i] = x.Shape[i]
+			prod *= shape[i]
+		default:
+			prod *= d
+		}
+	}
+	if inferIdx >= 0 {
+		if prod == 0 || total%prod != 0 {
+			return nil, fmt.Errorf("Reshape: cannot infer dim (%d / %d)", total, prod)
+		}
+		shape[inferIdx] = total / prod
+	}
+	return []*tensor.Tensor{in[0].Clone().Reshaped(shape)}, nil
+}
+
+func flattenKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Flatten"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axis := n.AttrInt("axis", 1)
+	if axis < 0 {
+		axis += int64(x.Rank())
+	}
+	a := tensor.NumElems(x.Shape[:axis])
+	b := tensor.NumElems(x.Shape[axis:])
+	return []*tensor.Tensor{x.Clone().Reshaped([]int64{a, b})}, nil
+}
+
+func squeezeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Squeeze"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axes := n.AttrInts("axes", nil)
+	if len(in) > 1 && in[1] != nil {
+		axes = in[1].I
+	}
+	drop := map[int64]bool{}
+	if len(axes) == 0 {
+		for i, d := range x.Shape {
+			if d == 1 {
+				drop[int64(i)] = true
+			}
+		}
+	}
+	for _, a := range axes {
+		if a < 0 {
+			a += int64(x.Rank())
+		}
+		drop[a] = true
+	}
+	var shape []int64
+	for i, d := range x.Shape {
+		if !drop[int64(i)] {
+			shape = append(shape, d)
+		}
+	}
+	return []*tensor.Tensor{x.Clone().Reshaped(shape)}, nil
+}
+
+func unsqueezeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Unsqueeze"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axes := n.AttrInts("axes", nil)
+	if len(in) > 1 && in[1] != nil {
+		axes = in[1].I
+	}
+	newRank := x.Rank() + len(axes)
+	ins := map[int64]bool{}
+	for _, a := range axes {
+		if a < 0 {
+			a += int64(newRank)
+		}
+		ins[a] = true
+	}
+	shape := make([]int64, 0, newRank)
+	j := 0
+	for i := 0; i < newRank; i++ {
+		if ins[int64(i)] {
+			shape = append(shape, 1)
+		} else {
+			shape = append(shape, x.Shape[j])
+			j++
+		}
+	}
+	return []*tensor.Tensor{x.Clone().Reshaped(shape)}, nil
+}
+
+func transposeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Transpose"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	perm := n.AttrInts("perm", nil)
+	if perm == nil {
+		perm = make([]int64, x.Rank())
+		for i := range perm {
+			perm[i] = int64(x.Rank() - 1 - i)
+		}
+	}
+	outShape := make([]int64, x.Rank())
+	for i, p := range perm {
+		outShape[i] = x.Shape[p]
+	}
+	out := tensor.New(x.DType, outShape...)
+	inStrides := tensor.Strides(x.Shape)
+	outStrides := tensor.Strides(outShape)
+	n64 := x.Len()
+	idx := make([]int64, x.Rank())
+	for flat := int64(0); flat < n64; flat++ {
+		rem := flat
+		for i := range idx {
+			idx[i] = rem / outStrides[i]
+			rem %= outStrides[i]
+		}
+		var src int64
+		for i, p := range perm {
+			src += idx[i] * inStrides[p]
+		}
+		copyElem(out, flat, x, src)
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func concatKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Concat"); err != nil {
+		return nil, err
+	}
+	axis := n.AttrInt("axis", 0)
+	if axis < 0 {
+		axis += int64(in[0].Rank())
+	}
+	outShape := append([]int64{}, in[0].Shape...)
+	var axisTotal int64
+	for _, t := range in {
+		axisTotal += t.Shape[axis]
+	}
+	outShape[axis] = axisTotal
+	out := tensor.New(in[0].DType, outShape...)
+	outer := tensor.NumElems(outShape[:axis])
+	innerOut := tensor.NumElems(outShape[axis:])
+	copied := int64(0)
+	for _, t := range in {
+		innerT := tensor.NumElems(t.Shape[axis:])
+		for o := int64(0); o < outer; o++ {
+			dstBase := o*innerOut + copied
+			srcBase := o * innerT
+			for i := int64(0); i < innerT; i++ {
+				copyElem(out, dstBase+i, t, srcBase+i)
+			}
+		}
+		copied += innerT
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func splitKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Split"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axis := n.AttrInt("axis", 0)
+	if axis < 0 {
+		axis += int64(x.Rank())
+	}
+	splits := n.AttrInts("split", nil)
+	if len(in) > 1 && in[1] != nil {
+		splits = in[1].I
+	}
+	nOut := len(n.Outputs)
+	if splits == nil {
+		if x.Shape[axis]%int64(nOut) != 0 {
+			return nil, fmt.Errorf("Split: %d not divisible by %d", x.Shape[axis], nOut)
+		}
+		each := x.Shape[axis] / int64(nOut)
+		splits = make([]int64, nOut)
+		for i := range splits {
+			splits[i] = each
+		}
+	}
+	outer := tensor.NumElems(x.Shape[:axis])
+	inner := tensor.NumElems(x.Shape[axis+1:])
+	outs := make([]*tensor.Tensor, len(splits))
+	offset := int64(0)
+	for s, sz := range splits {
+		shape := append([]int64{}, x.Shape...)
+		shape[axis] = sz
+		out := tensor.New(x.DType, shape...)
+		for o := int64(0); o < outer; o++ {
+			for a := int64(0); a < sz; a++ {
+				srcBase := (o*x.Shape[axis] + offset + a) * inner
+				dstBase := (o*sz + a) * inner
+				for i := int64(0); i < inner; i++ {
+					copyElem(out, dstBase+i, x, srcBase+i)
+				}
+			}
+		}
+		outs[s] = out
+		offset += sz
+	}
+	return outs, nil
+}
+
+func gatherKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 2, "Gather"); err != nil {
+		return nil, err
+	}
+	data, indices := in[0], in[1]
+	axis := n.AttrInt("axis", 0)
+	if axis < 0 {
+		axis += int64(data.Rank())
+	}
+	outShape := append([]int64{}, data.Shape[:axis]...)
+	outShape = append(outShape, indices.Shape...)
+	outShape = append(outShape, data.Shape[axis+1:]...)
+	out := tensor.New(data.DType, outShape...)
+	outer := tensor.NumElems(data.Shape[:axis])
+	axisLen := data.Shape[axis]
+	inner := tensor.NumElems(data.Shape[axis+1:])
+	nIdx := indices.Len()
+	for o := int64(0); o < outer; o++ {
+		for ii := int64(0); ii < nIdx; ii++ {
+			idx := indices.I[ii]
+			if idx < 0 {
+				idx += axisLen
+			}
+			if idx < 0 || idx >= axisLen {
+				return nil, fmt.Errorf("Gather: index %d out of range [0,%d)", idx, axisLen)
+			}
+			srcBase := (o*axisLen + idx) * inner
+			dstBase := (o*nIdx + ii) * inner
+			for i := int64(0); i < inner; i++ {
+				copyElem(out, dstBase+i, data, srcBase+i)
+			}
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func sliceKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 3, "Slice"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	starts, ends := in[1].I, in[2].I
+	var axes, steps []int64
+	if len(in) > 3 && in[3] != nil {
+		axes = in[3].I
+	}
+	if len(in) > 4 && in[4] != nil {
+		steps = in[4].I
+	}
+	if axes == nil {
+		axes = make([]int64, len(starts))
+		for i := range axes {
+			axes[i] = int64(i)
+		}
+	}
+	start := make([]int64, x.Rank())
+	step := make([]int64, x.Rank())
+	count := append([]int64{}, x.Shape...)
+	for i := range step {
+		step[i] = 1
+	}
+	for i, aRaw := range axes {
+		a := aRaw
+		if a < 0 {
+			a += int64(x.Rank())
+		}
+		st, en := starts[i], ends[i]
+		dim := x.Shape[a]
+		sp := int64(1)
+		if steps != nil {
+			sp = steps[i]
+		}
+		if sp <= 0 {
+			return nil, fmt.Errorf("Slice: non-positive step %d", sp)
+		}
+		if st < 0 {
+			st += dim
+		}
+		if en < 0 {
+			en += dim
+		}
+		if st < 0 {
+			st = 0
+		}
+		if st > dim {
+			st = dim
+		}
+		if en > dim {
+			en = dim
+		}
+		if en < st {
+			en = st
+		}
+		start[a] = st
+		step[a] = sp
+		count[a] = (en - st + sp - 1) / sp
+	}
+	out := tensor.New(x.DType, count...)
+	inStrides := tensor.Strides(x.Shape)
+	outStrides := tensor.Strides(count)
+	idx := make([]int64, x.Rank())
+	for flat := int64(0); flat < out.Len(); flat++ {
+		rem := flat
+		var src int64
+		for i := range idx {
+			idx[i] = rem / outStrides[i]
+			rem %= outStrides[i]
+			src += (start[i] + idx[i]*step[i]) * inStrides[i]
+		}
+		copyElem(out, flat, x, src)
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func expandKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 2, "Expand"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	shape, err := tensor.BroadcastShapes(x.Shape, in[1].I)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(x.DType, shape...)
+	for i := int64(0); i < out.Len(); i++ {
+		copyElem(out, i, x, tensor.BroadcastIndex(x.Shape, shape, i))
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func rangeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 3, "Range"); err != nil {
+		return nil, err
+	}
+	if in[0].DType == tensor.Int64 {
+		start, limit, delta := in[0].I[0], in[1].I[0], in[2].I[0]
+		if delta == 0 {
+			return nil, fmt.Errorf("Range: zero delta")
+		}
+		cnt := (limit - start + delta - 1) / delta
+		if cnt < 0 {
+			cnt = 0
+		}
+		out := tensor.New(tensor.Int64, cnt)
+		v := start
+		for i := int64(0); i < cnt; i++ {
+			out.I[i] = v
+			v += delta
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+	start, limit, delta := in[0].F[0], in[1].F[0], in[2].F[0]
+	cnt := int64(math.Ceil(float64((limit - start) / delta)))
+	if cnt < 0 {
+		cnt = 0
+	}
+	out := tensor.New(tensor.Float32, cnt)
+	for i := int64(0); i < cnt; i++ {
+		out.F[i] = start + float32(i)*delta
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func constantOfShapeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "ConstantOfShape"); err != nil {
+		return nil, err
+	}
+	val := float32(n.AttrFloat("value", 0))
+	out := tensor.New(tensor.Float32, in[0].I...)
+	for i := range out.F {
+		out.F[i] = val
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func eyeLikeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "EyeLike"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	if x.Rank() != 2 {
+		return nil, fmt.Errorf("EyeLike: rank %d", x.Rank())
+	}
+	out := tensor.New(tensor.Float32, x.Shape...)
+	k := n.AttrInt("k", 0)
+	for i := int64(0); i < x.Shape[0]; i++ {
+		j := i + k
+		if j >= 0 && j < x.Shape[1] {
+			out.F[i*x.Shape[1]+j] = 1
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func padKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Pad"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	pads := n.AttrInts("pads", nil)
+	if len(in) > 1 && in[1] != nil {
+		pads = in[1].I
+	}
+	if len(pads) != 2*x.Rank() {
+		return nil, fmt.Errorf("Pad: %d pads for rank %d", len(pads), x.Rank())
+	}
+	var cval float32
+	if len(in) > 2 && in[2] != nil && len(in[2].F) > 0 {
+		cval = in[2].F[0]
+	}
+	outShape := make([]int64, x.Rank())
+	for i := range outShape {
+		outShape[i] = x.Shape[i] + pads[i] + pads[x.Rank()+i]
+	}
+	out := tensor.New(x.DType, outShape...)
+	for i := range out.F {
+		out.F[i] = cval
+	}
+	inStrides := tensor.Strides(x.Shape)
+	outStrides := tensor.Strides(outShape)
+	idx := make([]int64, x.Rank())
+	for flat := int64(0); flat < x.Len(); flat++ {
+		rem := flat
+		var dst int64
+		for i := range idx {
+			idx[i] = rem / inStrides[i]
+			rem %= inStrides[i]
+			dst += (idx[i] + pads[i]) * outStrides[i]
+		}
+		copyElem(out, dst, x, flat)
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func tileKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 2, "Tile"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	reps := in[1].I
+	outShape := make([]int64, x.Rank())
+	for i := range outShape {
+		outShape[i] = x.Shape[i] * reps[i]
+	}
+	out := tensor.New(x.DType, outShape...)
+	inStrides := tensor.Strides(x.Shape)
+	outStrides := tensor.Strides(outShape)
+	idx := make([]int64, x.Rank())
+	for flat := int64(0); flat < out.Len(); flat++ {
+		rem := flat
+		var src int64
+		for i := range idx {
+			idx[i] = rem / outStrides[i]
+			rem %= outStrides[i]
+			src += (idx[i] % x.Shape[i]) * inStrides[i]
+		}
+		copyElem(out, flat, x, src)
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// resizeKernel: nearest-neighbour resize driven by scales (input 2) or
+// sizes (input 3); NCHW only.
+func resizeKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "Resize"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("Resize: rank %d", x.Rank())
+	}
+	outShape := append([]int64{}, x.Shape...)
+	switch {
+	case len(in) > 3 && in[3] != nil && in[3].Len() > 0:
+		copy(outShape, in[3].I)
+	case len(in) > 2 && in[2] != nil && in[2].Len() > 0:
+		for i := range outShape {
+			outShape[i] = int64(float64(x.Shape[i]) * float64(in[2].F[i]))
+		}
+	default:
+		return nil, fmt.Errorf("Resize: neither scales nor sizes provided")
+	}
+	out := tensor.New(tensor.Float32, outShape...)
+	N, C := outShape[0], outShape[1]
+	oh, ow := outShape[2], outShape[3]
+	ih, iw := x.Shape[2], x.Shape[3]
+	for b := int64(0); b < N; b++ {
+		for c := int64(0); c < C; c++ {
+			srcBase := (b*x.Shape[1] + c) * ih * iw
+			dstBase := (b*C + c) * oh * ow
+			for y := int64(0); y < oh; y++ {
+				sy := y * ih / oh
+				for xx := int64(0); xx < ow; xx++ {
+					sx := xx * iw / ow
+					out.F[dstBase+y*ow+xx] = x.F[srcBase+sy*iw+sx]
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func topKKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "TopK"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	k := n.AttrInt("k", -1)
+	if len(in) > 1 && in[1] != nil && in[1].Len() > 0 {
+		k = in[1].I[0]
+	}
+	axis := n.AttrInt("axis", -1)
+	if axis < 0 {
+		axis += int64(x.Rank())
+	}
+	if int(axis) != x.Rank()-1 {
+		return nil, fmt.Errorf("TopK: only last axis supported")
+	}
+	inner := x.Shape[x.Rank()-1]
+	if k < 0 || k > inner {
+		return nil, fmt.Errorf("TopK: k=%d of %d", k, inner)
+	}
+	outer := x.Len() / inner
+	outShape := append([]int64{}, x.Shape...)
+	outShape[axis] = k
+	vals := tensor.New(tensor.Float32, outShape...)
+	idxs := tensor.New(tensor.Int64, outShape...)
+	type pair struct {
+		v float32
+		i int64
+	}
+	for o := int64(0); o < outer; o++ {
+		row := x.F[o*inner : (o+1)*inner]
+		ps := make([]pair, inner)
+		for i, v := range row {
+			ps[i] = pair{v, int64(i)}
+		}
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].v != ps[b].v {
+				return ps[a].v > ps[b].v
+			}
+			return ps[a].i < ps[b].i
+		})
+		for i := int64(0); i < k; i++ {
+			vals.F[o*k+i] = ps[i].v
+			idxs.I[o*k+i] = ps[i].i
+		}
+	}
+	return []*tensor.Tensor{vals, idxs}, nil
+}
+
+func argExtremeKernel(isMax bool) Kernel {
+	return func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, n.OpType); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		axis := n.AttrInt("axis", 0)
+		if axis < 0 {
+			axis += int64(x.Rank())
+		}
+		keep := n.AttrInt("keepdims", 1) != 0
+		outer := tensor.NumElems(x.Shape[:axis])
+		axisLen := x.Shape[axis]
+		inner := tensor.NumElems(x.Shape[axis+1:])
+		var outShape []int64
+		for i, d := range x.Shape {
+			if int64(i) == axis {
+				if keep {
+					outShape = append(outShape, 1)
+				}
+				continue
+			}
+			outShape = append(outShape, d)
+		}
+		out := tensor.New(tensor.Int64, outShape...)
+		for o := int64(0); o < outer; o++ {
+			for i := int64(0); i < inner; i++ {
+				best := x.F[o*axisLen*inner+i]
+				bestIdx := int64(0)
+				for a := int64(1); a < axisLen; a++ {
+					v := x.F[(o*axisLen+a)*inner+i]
+					if (isMax && v > best) || (!isMax && v < best) {
+						best, bestIdx = v, a
+					}
+				}
+				out.I[o*inner+i] = bestIdx
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+func reduceKernel(init float32, acc func(a, v float32) float32, finish func(a float32, n int64) float32) Kernel {
+	return func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, n.OpType); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		axes := n.AttrInts("axes", nil)
+		if len(in) > 1 && in[1] != nil {
+			axes = in[1].I
+		}
+		keep := n.AttrInt("keepdims", 1) != 0
+		reduceAll := len(axes) == 0
+		isReduced := make([]bool, x.Rank())
+		for _, a := range axes {
+			if a < 0 {
+				a += int64(x.Rank())
+			}
+			isReduced[a] = true
+		}
+		if reduceAll {
+			for i := range isReduced {
+				isReduced[i] = true
+			}
+		}
+		var outShape []int64
+		var reducedCount int64 = 1
+		for i, d := range x.Shape {
+			if isReduced[i] {
+				reducedCount *= d
+				if keep {
+					outShape = append(outShape, 1)
+				}
+			} else {
+				outShape = append(outShape, d)
+			}
+		}
+		out := tensor.New(tensor.Float32, outShape...)
+		for i := range out.F {
+			out.F[i] = init
+		}
+		inStrides := tensor.Strides(x.Shape)
+		// Compute the output flat index for each input element.
+		outStridesKept := make([]int64, x.Rank())
+		{
+			stride := int64(1)
+			for i := x.Rank() - 1; i >= 0; i-- {
+				if isReduced[i] {
+					outStridesKept[i] = 0
+				} else {
+					outStridesKept[i] = stride
+					stride *= x.Shape[i]
+				}
+			}
+		}
+		idx := make([]int64, x.Rank())
+		for flat := int64(0); flat < x.Len(); flat++ {
+			rem := flat
+			var dst int64
+			for i := range idx {
+				idx[i] = rem / inStrides[i]
+				rem %= inStrides[i]
+				dst += idx[i] * outStridesKept[i]
+			}
+			out.F[dst] = acc(out.F[dst], x.F[flat])
+		}
+		if finish != nil {
+			for i := range out.F {
+				out.F[i] = finish(out.F[i], reducedCount)
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+func nonZeroKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "NonZero"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	strides := tensor.Strides(x.Shape)
+	var hits []int64
+	for flat := int64(0); flat < x.Len(); flat++ {
+		var nz bool
+		switch x.DType {
+		case tensor.Float32:
+			nz = x.F[flat] != 0
+		case tensor.Int64:
+			nz = x.I[flat] != 0
+		case tensor.Bool:
+			nz = x.B[flat]
+		}
+		if nz {
+			hits = append(hits, flat)
+		}
+	}
+	out := tensor.New(tensor.Int64, int64(x.Rank()), int64(len(hits)))
+	for c, flat := range hits {
+		rem := flat
+		for d := 0; d < x.Rank(); d++ {
+			out.I[int64(d)*int64(len(hits))+int64(c)] = rem / strides[d]
+			rem %= strides[d]
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func oneHotKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 2, "OneHot"); err != nil {
+		return nil, err
+	}
+	idx := in[0]
+	depth := in[1].I[0]
+	onVal, offVal := float32(1), float32(0)
+	if len(in) > 2 && in[2] != nil && in[2].Len() == 2 {
+		offVal, onVal = in[2].F[0], in[2].F[1]
+	}
+	outShape := append(append([]int64{}, idx.Shape...), depth)
+	out := tensor.New(tensor.Float32, outShape...)
+	for i := range out.F {
+		out.F[i] = offVal
+	}
+	for i := int64(0); i < idx.Len(); i++ {
+		v := idx.I[i]
+		if v < 0 {
+			v += depth
+		}
+		if v >= 0 && v < depth {
+			out.F[i*depth+v] = onVal
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// nmsKernel is a simplified single-class NonMaxSuppression over
+// boxes [1, N, 4] and scores [1, 1, N], returning selected indices
+// [num, 3] like ONNX.
+func nmsKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 2, "NonMaxSuppression"); err != nil {
+		return nil, err
+	}
+	boxes, scores := in[0], in[1]
+	maxOut := int64(1 << 30)
+	if len(in) > 2 && in[2] != nil && in[2].Len() > 0 {
+		maxOut = in[2].I[0]
+	}
+	iouThresh := float32(0.5)
+	if len(in) > 3 && in[3] != nil && in[3].Len() > 0 {
+		iouThresh = in[3].F[0]
+	}
+	scoreThresh := float32(math.Inf(-1))
+	if len(in) > 4 && in[4] != nil && in[4].Len() > 0 {
+		scoreThresh = in[4].F[0]
+	}
+	nBox := boxes.Shape[1]
+	order := make([]int64, 0, nBox)
+	for i := int64(0); i < nBox; i++ {
+		if scores.F[i] >= scoreThresh {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return scores.F[order[a]] > scores.F[order[b]] })
+	iou := func(a, b int64) float32 {
+		ax1, ay1, ax2, ay2 := boxes.F[a*4], boxes.F[a*4+1], boxes.F[a*4+2], boxes.F[a*4+3]
+		bx1, by1, bx2, by2 := boxes.F[b*4], boxes.F[b*4+1], boxes.F[b*4+2], boxes.F[b*4+3]
+		ix1, iy1 := maxf(ax1, bx1), maxf(ay1, by1)
+		ix2, iy2 := minf(ax2, bx2), minf(ay2, by2)
+		iw, ih := maxf(ix2-ix1, 0), maxf(iy2-iy1, 0)
+		inter := iw * ih
+		areaA := (ax2 - ax1) * (ay2 - ay1)
+		areaB := (bx2 - bx1) * (by2 - by1)
+		union := areaA + areaB - inter
+		if union <= 0 {
+			return 0
+		}
+		return inter / union
+	}
+	var selected []int64
+	for _, cand := range order {
+		if int64(len(selected)) >= maxOut {
+			break
+		}
+		ok := true
+		for _, s := range selected {
+			if iou(cand, s) > iouThresh {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			selected = append(selected, cand)
+		}
+	}
+	out := tensor.New(tensor.Int64, int64(len(selected)), 3)
+	for i, s := range selected {
+		out.I[i*3+2] = s
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func init() {
+	register("Shape", shapeKernel)
+	register("Size", sizeKernel)
+	register("Reshape", reshapeKernel)
+	register("Flatten", flattenKernel)
+	register("Squeeze", squeezeKernel)
+	register("Unsqueeze", unsqueezeKernel)
+	register("Transpose", transposeKernel)
+	register("Concat", concatKernel)
+	register("Split", splitKernel)
+	register("Gather", gatherKernel)
+	register("Slice", sliceKernel)
+	register("Expand", expandKernel)
+	register("Range", rangeKernel)
+	register("ConstantOfShape", constantOfShapeKernel)
+	register("EyeLike", eyeLikeKernel)
+	register("Pad", padKernel)
+	register("Tile", tileKernel)
+	register("Resize", resizeKernel)
+	register("Upsample", resizeKernel)
+	register("TopK", topKKernel)
+	register("ArgMax", argExtremeKernel(true))
+	register("ArgMin", argExtremeKernel(false))
+	register("NonZero", nonZeroKernel)
+	register("OneHot", oneHotKernel)
+	register("NonMaxSuppression", nmsKernel)
+
+	register("ReduceSum", reduceKernel(0, func(a, v float32) float32 { return a + v }, nil))
+	register("ReduceMean", reduceKernel(0, func(a, v float32) float32 { return a + v },
+		func(a float32, n int64) float32 { return a / float32(n) }))
+	register("ReduceMax", reduceKernel(float32(math.Inf(-1)), maxf, nil))
+	register("ReduceMin", reduceKernel(float32(math.Inf(1)), minf, nil))
+	register("ReduceProd", reduceKernel(1, func(a, v float32) float32 { return a * v }, nil))
+	register("ReduceL2", reduceKernel(0, func(a, v float32) float32 { return a + v*v },
+		func(a float32, n int64) float32 { return float32(math.Sqrt(float64(a))) }))
+}

@@ -1,0 +1,217 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func softmaxKernel(logMode bool) Kernel {
+	return func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(in, 1, n.OpType); err != nil {
+			return nil, err
+		}
+		x := in[0]
+		axis := n.AttrInt("axis", -1)
+		if axis < 0 {
+			axis += int64(x.Rank())
+		}
+		if int(axis) != x.Rank()-1 {
+			return nil, fmt.Errorf("%s: only last-axis supported (axis=%d rank=%d)", n.OpType, axis, x.Rank())
+		}
+		inner := x.Shape[x.Rank()-1]
+		outer := x.Len() / inner
+		out := tensor.New(tensor.Float32, x.Shape...)
+		for o := int64(0); o < outer; o++ {
+			row := x.F[o*inner : (o+1)*inner]
+			dst := out.F[o*inner : (o+1)*inner]
+			maxV := float32(math.Inf(-1))
+			for _, v := range row {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for i, v := range row {
+				e := math.Exp(float64(v - maxV))
+				dst[i] = float32(e)
+				sum += e
+			}
+			if logMode {
+				ls := float32(math.Log(sum))
+				for i, v := range row {
+					dst[i] = v - maxV - ls
+				}
+			} else {
+				inv := float32(1 / sum)
+				for i := range dst {
+					dst[i] *= inv
+				}
+			}
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+}
+
+// layerNormKernel normalizes over the trailing axes starting at `axis`
+// (default -1) with optional scale and bias inputs.
+func layerNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "LayerNormalization"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	axis := n.AttrInt("axis", -1)
+	if axis < 0 {
+		axis += int64(x.Rank())
+	}
+	eps := float32(n.AttrFloat("epsilon", 1e-5))
+	inner := tensor.NumElems(x.Shape[axis:])
+	outer := x.Len() / inner
+	out := tensor.New(tensor.Float32, x.Shape...)
+	var scale, bias *tensor.Tensor
+	if len(in) > 1 && in[1] != nil {
+		scale = in[1]
+	}
+	if len(in) > 2 && in[2] != nil {
+		bias = in[2]
+	}
+	for o := int64(0); o < outer; o++ {
+		row := x.F[o*inner : (o+1)*inner]
+		dst := out.F[o*inner : (o+1)*inner]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(inner)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(inner)
+		inv := float32(1 / math.Sqrt(variance+float64(eps)))
+		for i, v := range row {
+			r := (v - float32(mean)) * inv
+			if scale != nil {
+				r *= scale.F[int64(i)%scale.Len()]
+			}
+			if bias != nil {
+				r += bias.F[int64(i)%bias.Len()]
+			}
+			dst[i] = r
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// batchNormKernel: inference-mode y = scale*(x-mean)/sqrt(var+eps)+bias,
+// parameters indexed by channel (dim 1).
+func batchNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 5, "BatchNormalization"); err != nil {
+		return nil, err
+	}
+	x, scale, bias, mean, variance := in[0], in[1], in[2], in[3], in[4]
+	eps := float32(n.AttrFloat("epsilon", 1e-5))
+	if x.Rank() < 2 {
+		return nil, fmt.Errorf("BatchNormalization: rank %d", x.Rank())
+	}
+	C := x.Shape[1]
+	plane := tensor.NumElems(x.Shape[2:])
+	N := x.Shape[0]
+	out := tensor.New(tensor.Float32, x.Shape...)
+	for b := int64(0); b < N; b++ {
+		for c := int64(0); c < C; c++ {
+			inv := float32(1 / math.Sqrt(float64(variance.F[c])+float64(eps)))
+			s, bi, m := scale.F[c], bias.F[c], mean.F[c]
+			base := (b*C + c) * plane
+			for i := int64(0); i < plane; i++ {
+				out.F[base+i] = s*(x.F[base+i]-m)*inv + bi
+			}
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+// groupNormKernel normalizes within channel groups.
+func groupNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := wantInputs(in, 1, "GroupNormalization"); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	groups := n.AttrInt("num_groups", 1)
+	eps := float32(n.AttrFloat("epsilon", 1e-5))
+	if x.Rank() < 2 {
+		return nil, fmt.Errorf("GroupNormalization: rank %d", x.Rank())
+	}
+	N, C := x.Shape[0], x.Shape[1]
+	if C%groups != 0 {
+		return nil, fmt.Errorf("GroupNormalization: C=%d %% groups=%d", C, groups)
+	}
+	plane := tensor.NumElems(x.Shape[2:])
+	chPerGroup := C / groups
+	span := chPerGroup * plane
+	out := tensor.New(tensor.Float32, x.Shape...)
+	var scale, bias *tensor.Tensor
+	if len(in) > 1 && in[1] != nil {
+		scale = in[1]
+	}
+	if len(in) > 2 && in[2] != nil {
+		bias = in[2]
+	}
+	for b := int64(0); b < N; b++ {
+		for g := int64(0); g < groups; g++ {
+			base := b*C*plane + g*span
+			var mean float64
+			for i := int64(0); i < span; i++ {
+				mean += float64(x.F[base+i])
+			}
+			mean /= float64(span)
+			var variance float64
+			for i := int64(0); i < span; i++ {
+				d := float64(x.F[base+i]) - mean
+				variance += d * d
+			}
+			variance /= float64(span)
+			inv := float32(1 / math.Sqrt(variance+float64(eps)))
+			for c := int64(0); c < chPerGroup; c++ {
+				ch := g*chPerGroup + c
+				s, bi := float32(1), float32(0)
+				if scale != nil {
+					s = scale.F[ch]
+				}
+				if bias != nil {
+					bi = bias.F[ch]
+				}
+				cbase := base + c*plane
+				for i := int64(0); i < plane; i++ {
+					out.F[cbase+i] = s*(x.F[cbase+i]-float32(mean))*inv + bi
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{out}, nil
+}
+
+func instanceNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	// InstanceNorm == GroupNorm with groups == C.
+	if err := wantInputs(in, 1, "InstanceNormalization"); err != nil {
+		return nil, err
+	}
+	clone := &graph.Node{Name: n.Name, OpType: "GroupNormalization", Inputs: n.Inputs, Outputs: n.Outputs,
+		Attrs: map[string]graph.AttrValue{
+			"num_groups": graph.IntAttr(in[0].Shape[1]),
+			"epsilon":    graph.FloatAttr(n.AttrFloat("epsilon", 1e-5)),
+		}}
+	return groupNormKernel(clone, in)
+}
+
+func init() {
+	register("Softmax", softmaxKernel(false))
+	register("LogSoftmax", softmaxKernel(true))
+	register("LayerNormalization", layerNormKernel)
+	register("BatchNormalization", batchNormKernel)
+	register("GroupNormalization", groupNormKernel)
+	register("InstanceNormalization", instanceNormKernel)
+}

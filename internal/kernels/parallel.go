@@ -1,0 +1,65 @@
+package kernels
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// GemmParallel partitions the output rows of C = A×B across `threads`
+// goroutines, each running the chosen single-threaded schedule on its
+// row stripe. This realizes the thread-count dimension of the MVC
+// auto-tuner's search space (§4.4.2: "the more effective exploitation of
+// parallelism available in the hardware").
+func GemmParallel(variant GemmVariant, threads int, a, b []float32, m, k, n int64, c []float32) {
+	if threads <= 1 || m < int64(threads) {
+		Gemm(variant, a, b, m, k, n, c)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + int64(threads) - 1) / int64(threads)
+	for t := 0; t < threads; t++ {
+		lo := int64(t) * chunk
+		if lo >= m {
+			break
+		}
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			Gemm(variant, a[lo*k:hi*k], b, hi-lo, k, n, c[lo*n:hi*n])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ConvParallelDirect stripes the direct convolution's output channels
+// across goroutines (each stripe reads the shared input independently).
+// Grouped convolutions fall back to the single-threaded kernel.
+func ConvParallelDirect(x, w, out *tensor.Tensor, a conv2dArgs, threads int) {
+	if threads <= 1 || a.cout < int64(threads) || a.group != 1 {
+		convDirect(x, w, out, a)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.cout + int64(threads) - 1) / int64(threads)
+	for t := 0; t < threads; t++ {
+		lo := int64(t) * chunk
+		if lo >= a.cout {
+			break
+		}
+		hi := lo + chunk
+		if hi > a.cout {
+			hi = a.cout
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			convDirectStripe(x, w, out, a, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

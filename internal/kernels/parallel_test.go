@@ -1,0 +1,78 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestGemmParallelAgrees(t *testing.T) {
+	rng := tensor.NewRNG(19)
+	m, k, n := int64(37), int64(19), int64(23)
+	a := tensor.RandomFloats(rng, 1, m, k)
+	b := tensor.RandomFloats(rng, 1, k, n)
+	ref := make([]float32, m*n)
+	Gemm(GemmNaive, a.F, b.F, m, k, n, ref)
+	for _, threads := range []int{1, 2, 4, 8, 64} {
+		c := make([]float32, m*n)
+		GemmParallel(GemmTiledRegular, threads, a.F, b.F, m, k, n, c)
+		for i := range ref {
+			if diff := ref[i] - c[i]; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("threads=%d: mismatch at %d", threads, i)
+			}
+		}
+	}
+}
+
+func TestGemmParallelTinyMatrixFallsBack(t *testing.T) {
+	// m < threads must not deadlock or drop rows.
+	a := []float32{1, 2}
+	b := []float32{3, 4}
+	c := make([]float32, 1)
+	GemmParallel(GemmTiledRegular, 8, a, b, 1, 2, 1, c)
+	if c[0] != 11 {
+		t.Errorf("c = %v", c)
+	}
+}
+
+func TestConvParallelDirectAgrees(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	x := tensor.RandomFloats(rng, 1, 1, 3, 9, 9)
+	w := tensor.RandomFloats(rng, 1, 8, 3, 3, 3)
+	n := &graph.Node{Name: "c", OpType: "Conv", Outputs: []string{"y"},
+		Attrs: map[string]graph.AttrValue{"pads": graph.IntsAttr(1, 1, 1, 1)}}
+	a, err := convArgsFor(n, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.New(tensor.Float32, 1, 8, 9, 9)
+	convDirect(x, w, ref, a)
+	for _, threads := range []int{2, 3, 8} {
+		out := tensor.New(tensor.Float32, 1, 8, 9, 9)
+		ConvParallelDirect(x, w, out, a, threads)
+		if !tensor.AllClose(ref, out, 1e-4) {
+			t.Fatalf("threads=%d disagrees", threads)
+		}
+	}
+}
+
+func TestConvParallelGroupedFallsBack(t *testing.T) {
+	rng := tensor.NewRNG(29)
+	x := tensor.RandomFloats(rng, 1, 1, 4, 6, 6)
+	w := tensor.RandomFloats(rng, 1, 4, 1, 3, 3)
+	n := &graph.Node{Name: "c", OpType: "Conv", Outputs: []string{"y"},
+		Attrs: map[string]graph.AttrValue{
+			"pads": graph.IntsAttr(1, 1, 1, 1), "group": graph.IntAttr(4)}}
+	a, err := convArgsFor(n, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.New(tensor.Float32, 1, 4, 6, 6)
+	convDirect(x, w, ref, a)
+	out := tensor.New(tensor.Float32, 1, 4, 6, 6)
+	ConvParallelDirect(x, w, out, a, 4)
+	if !tensor.AllClose(ref, out, 1e-5) {
+		t.Fatal("grouped fallback disagrees")
+	}
+}

@@ -1,0 +1,483 @@
+// Package lattice defines the value domain of SoD²'s RDP data-flow
+// analysis (paper Fig. 2). Each tensor dimension is mapped to a lattice
+// element: ⊤ (undef), a constant — known, symbolic, or op-inferred, all
+// uniformly represented as canonical symbolic expressions — or ⊥ (nac,
+// not-a-constant). Shapes lift dimensions pointwise with an additional
+// unknown-rank element, and ValueInfo carries the symbolic integer
+// contents of shape-carrying tensors (e.g. the output of Shape).
+package lattice
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/symbolic"
+)
+
+// DimKind discriminates the three levels of the per-dimension lattice.
+type DimKind uint8
+
+const (
+	// DimUndef is ⊤: nothing known yet (analysis has not reached it).
+	DimUndef DimKind = iota
+	// DimExpr is the middle layer: a known constant, symbolic constant,
+	// or op-inferred constant, represented as a canonical expression.
+	DimExpr
+	// DimNAC is ⊥: proven not to be a (symbolic) constant.
+	DimNAC
+)
+
+// Dim is one lattice element for a single tensor dimension.
+type Dim struct {
+	Kind DimKind
+	E    symbolic.Expr // valid iff Kind == DimExpr
+}
+
+// Undef returns the ⊤ dimension.
+func Undef() Dim { return Dim{Kind: DimUndef} }
+
+// NAC returns the ⊥ dimension.
+func NAC() Dim { return Dim{Kind: DimNAC} }
+
+// FromExpr wraps a canonical expression as a lattice constant.
+func FromExpr(e symbolic.Expr) Dim { return Dim{Kind: DimExpr, E: e} }
+
+// FromInt wraps a known integer constant.
+func FromInt(v int64) Dim { return FromExpr(symbolic.NewConst(v)) }
+
+// FromSym wraps a fresh symbolic constant.
+func FromSym(name string) Dim { return FromExpr(symbolic.NewSym(name)) }
+
+// IsUndef reports whether d is ⊤.
+func (d Dim) IsUndef() bool { return d.Kind == DimUndef }
+
+// IsNAC reports whether d is ⊥.
+func (d Dim) IsNAC() bool { return d.Kind == DimNAC }
+
+// IsExpr reports whether d carries an expression.
+func (d Dim) IsExpr() bool { return d.Kind == DimExpr }
+
+// Const reports whether d is a known integer constant and returns it.
+func (d Dim) Const() (int64, bool) {
+	if d.Kind != DimExpr {
+		return 0, false
+	}
+	return symbolic.IsConst(d.E)
+}
+
+// IsSymbolic reports whether d is an expression with free symbols.
+func (d Dim) IsSymbolic() bool {
+	if d.Kind != DimExpr {
+		return false
+	}
+	_, c := symbolic.IsConst(d.E)
+	return !c
+}
+
+func (d Dim) String() string {
+	switch d.Kind {
+	case DimUndef:
+		return "⊤"
+	case DimNAC:
+		return "⊥"
+	default:
+		return d.E.String()
+	}
+}
+
+// Equal reports semantic equality of two lattice dims.
+func (d Dim) Equal(o Dim) bool {
+	if d.Kind != o.Kind {
+		return false
+	}
+	if d.Kind != DimExpr {
+		return true
+	}
+	return symbolic.Equal(d.E, o.E)
+}
+
+// Meet is the lattice meet (∧): undef ∧ x = x; x ∧ x = x; otherwise ⊥.
+func (d Dim) Meet(o Dim) Dim {
+	switch {
+	case d.Kind == DimUndef:
+		return o
+	case o.Kind == DimUndef:
+		return d
+	case d.Kind == DimNAC || o.Kind == DimNAC:
+		return NAC()
+	case symbolic.Equal(d.E, o.E):
+		return d
+	default:
+		return NAC()
+	}
+}
+
+// Eval resolves the dimension to a concrete value under env.
+func (d Dim) Eval(env symbolic.Env) (int64, error) {
+	if d.Kind != DimExpr {
+		return 0, fmt.Errorf("lattice: cannot evaluate %s dimension", d)
+	}
+	return d.E.Eval(env)
+}
+
+// ShapeKind discriminates the shape-level lattice.
+type ShapeKind uint8
+
+const (
+	// ShapeUndef: rank and dims unknown (⊤).
+	ShapeUndef ShapeKind = iota
+	// ShapeRanked: rank known; dims are per-dimension lattice elements.
+	ShapeRanked
+	// ShapeNAC: proven dynamic beyond analysis (⊥) — e.g. NonZero output.
+	ShapeNAC
+)
+
+// Shape is the lattice element for a whole tensor shape.
+type Shape struct {
+	Kind ShapeKind
+	Dims []Dim // valid iff Kind == ShapeRanked; len == rank
+}
+
+// UndefShape returns the ⊤ shape.
+func UndefShape() Shape { return Shape{Kind: ShapeUndef} }
+
+// NACShape returns the ⊥ shape.
+func NACShape() Shape { return Shape{Kind: ShapeNAC} }
+
+// Ranked builds a rank-known shape from dims.
+func Ranked(dims ...Dim) Shape { return Shape{Kind: ShapeRanked, Dims: dims} }
+
+// FromInts builds a fully known constant shape.
+func FromInts(dims ...int64) Shape {
+	ds := make([]Dim, len(dims))
+	for i, v := range dims {
+		ds[i] = FromInt(v)
+	}
+	return Ranked(ds...)
+}
+
+// FromExprs builds a ranked shape from expressions.
+func FromExprs(es ...symbolic.Expr) Shape {
+	ds := make([]Dim, len(es))
+	for i, e := range es {
+		ds[i] = FromExpr(e)
+	}
+	return Ranked(ds...)
+}
+
+// Rank returns the rank and whether it is known.
+func (s Shape) Rank() (int, bool) {
+	if s.Kind != ShapeRanked {
+		return 0, false
+	}
+	return len(s.Dims), true
+}
+
+// IsUndef reports whether the shape is ⊤.
+func (s Shape) IsUndef() bool { return s.Kind == ShapeUndef }
+
+// IsNAC reports whether the shape is ⊥.
+func (s Shape) IsNAC() bool { return s.Kind == ShapeNAC }
+
+// AllKnown reports whether every dimension is a known integer constant.
+func (s Shape) AllKnown() bool {
+	if s.Kind != ShapeRanked {
+		return false
+	}
+	for _, d := range s.Dims {
+		if _, ok := d.Const(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// AllExpr reports whether every dimension is at least a symbolic expression
+// (i.e. no undef and no nac dims).
+func (s Shape) AllExpr() bool {
+	if s.Kind != ShapeRanked {
+		return false
+	}
+	for _, d := range s.Dims {
+		if d.Kind != DimExpr {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNACDim reports whether any dimension is ⊥.
+func (s Shape) HasNACDim() bool {
+	if s.Kind == ShapeNAC {
+		return true
+	}
+	for _, d := range s.Dims {
+		if d.IsNAC() {
+			return true
+		}
+	}
+	return false
+}
+
+// Ints materializes a fully known shape as integers.
+func (s Shape) Ints() ([]int64, bool) {
+	if s.Kind != ShapeRanked {
+		return nil, false
+	}
+	out := make([]int64, len(s.Dims))
+	for i, d := range s.Dims {
+		v, ok := d.Const()
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// Eval resolves a ranked shape to concrete dims under env.
+func (s Shape) Eval(env symbolic.Env) ([]int64, error) {
+	if s.Kind != ShapeRanked {
+		return nil, fmt.Errorf("lattice: cannot evaluate %s shape", s)
+	}
+	out := make([]int64, len(s.Dims))
+	for i, d := range s.Dims {
+		v, err := d.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// NumElems returns the symbolic element count (product of dims), or ⊥/⊤
+// if any dimension is.
+func (s Shape) NumElems() Dim {
+	if s.Kind == ShapeUndef {
+		return Undef()
+	}
+	if s.Kind == ShapeNAC {
+		return NAC()
+	}
+	prod := symbolic.Expr(symbolic.One)
+	for _, d := range s.Dims {
+		if d.Kind != DimExpr {
+			return Dim{Kind: d.Kind}
+		}
+		prod = symbolic.Mul(prod, d.E)
+	}
+	return FromExpr(prod)
+}
+
+func (s Shape) String() string {
+	switch s.Kind {
+	case ShapeUndef:
+		return "⊤shape"
+	case ShapeNAC:
+		return "⊥shape"
+	default:
+		parts := make([]string, len(s.Dims))
+		for i, d := range s.Dims {
+			parts[i] = d.String()
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	}
+}
+
+// Equal reports semantic equality of two shapes.
+func (s Shape) Equal(o Shape) bool {
+	if s.Kind != o.Kind {
+		return false
+	}
+	if s.Kind != ShapeRanked {
+		return true
+	}
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if !s.Dims[i].Equal(o.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet is the shape-level meet: pointwise on dims when ranks agree,
+// ⊥ on rank mismatch, identity with ⊤.
+func (s Shape) Meet(o Shape) Shape {
+	switch {
+	case s.Kind == ShapeUndef:
+		return o
+	case o.Kind == ShapeUndef:
+		return s
+	case s.Kind == ShapeNAC || o.Kind == ShapeNAC:
+		return NACShape()
+	case len(s.Dims) != len(o.Dims):
+		return NACShape()
+	default:
+		dims := make([]Dim, len(s.Dims))
+		for i := range dims {
+			dims[i] = s.Dims[i].Meet(o.Dims[i])
+		}
+		return Ranked(dims...)
+	}
+}
+
+// Refine merges information from o into s treating expression conflicts
+// conservatively like Meet, but — unlike Meet — letting a defined dim
+// fill in an undef dim at the same index. Used by backward transfer where
+// the producer learns from the consumer.
+func (s Shape) Refine(o Shape) Shape {
+	return s.Meet(o) // meet already treats undef as identity pointwise
+}
+
+// ValueKind discriminates the tensor-contents lattice used for
+// shape-carrying tensors.
+type ValueKind uint8
+
+const (
+	// ValueUndef: contents unknown/untracked (⊤).
+	ValueUndef ValueKind = iota
+	// ValueElems: a small integer tensor whose elements are tracked
+	// symbolically (e.g. the output of Shape, a constant axes list).
+	ValueElems
+	// ValueNAC: contents proven dynamic (⊥).
+	ValueNAC
+)
+
+// ValueInfo is the lattice element for tensor *contents* (the V-map in
+// the paper). Only integer tensors that can feed shape computations are
+// tracked element-wise.
+type ValueInfo struct {
+	Kind  ValueKind
+	Elems []Dim // valid iff Kind == ValueElems; flattened elements
+}
+
+// UndefValue returns the ⊤ value.
+func UndefValue() ValueInfo { return ValueInfo{Kind: ValueUndef} }
+
+// NACValue returns the ⊥ value.
+func NACValue() ValueInfo { return ValueInfo{Kind: ValueNAC} }
+
+// ElemsValue builds a tracked value from dims.
+func ElemsValue(elems ...Dim) ValueInfo { return ValueInfo{Kind: ValueElems, Elems: elems} }
+
+// IntsValue builds a tracked value from known integers.
+func IntsValue(vals ...int64) ValueInfo {
+	es := make([]Dim, len(vals))
+	for i, v := range vals {
+		es[i] = FromInt(v)
+	}
+	return ElemsValue(es...)
+}
+
+// IsUndef reports whether v is ⊤.
+func (v ValueInfo) IsUndef() bool { return v.Kind == ValueUndef }
+
+// IsNAC reports whether v is ⊥.
+func (v ValueInfo) IsNAC() bool { return v.Kind == ValueNAC }
+
+// Ints materializes fully known contents.
+func (v ValueInfo) Ints() ([]int64, bool) {
+	if v.Kind != ValueElems {
+		return nil, false
+	}
+	out := make([]int64, len(v.Elems))
+	for i, e := range v.Elems {
+		c, ok := e.Const()
+		if !ok {
+			return nil, false
+		}
+		out[i] = c
+	}
+	return out, true
+}
+
+// AllExpr reports whether every element is at least symbolic.
+func (v ValueInfo) AllExpr() bool {
+	if v.Kind != ValueElems {
+		return false
+	}
+	for _, e := range v.Elems {
+		if e.Kind != DimExpr {
+			return false
+		}
+	}
+	return true
+}
+
+func (v ValueInfo) String() string {
+	switch v.Kind {
+	case ValueUndef:
+		return "⊤val"
+	case ValueNAC:
+		return "⊥val"
+	default:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+}
+
+// Equal reports semantic equality.
+func (v ValueInfo) Equal(o ValueInfo) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	if v.Kind != ValueElems {
+		return true
+	}
+	if len(v.Elems) != len(o.Elems) {
+		return false
+	}
+	for i := range v.Elems {
+		if !v.Elems[i].Equal(o.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet is the value-level meet, pointwise with length agreement.
+func (v ValueInfo) Meet(o ValueInfo) ValueInfo {
+	switch {
+	case v.Kind == ValueUndef:
+		return o
+	case o.Kind == ValueUndef:
+		return v
+	case v.Kind == ValueNAC || o.Kind == ValueNAC:
+		return NACValue()
+	case len(v.Elems) != len(o.Elems):
+		return NACValue()
+	default:
+		es := make([]Dim, len(v.Elems))
+		for i := range es {
+			es[i] = v.Elems[i].Meet(o.Elems[i])
+		}
+		return ElemsValue(es...)
+	}
+}
+
+// Info pairs the S-map and V-map entries for one tensor (the two
+// variables RDP's map function m maintains per intermediate tensor).
+type Info struct {
+	Shape Shape
+	Value ValueInfo
+}
+
+// UndefInfo returns the fully-⊤ tensor info.
+func UndefInfo() Info { return Info{Shape: UndefShape(), Value: UndefValue()} }
+
+func (in Info) String() string { return in.Shape.String() + "/" + in.Value.String() }
+
+// Equal reports semantic equality of both components.
+func (in Info) Equal(o Info) bool { return in.Shape.Equal(o.Shape) && in.Value.Equal(o.Value) }
+
+// Meet applies the meet to both components.
+func (in Info) Meet(o Info) Info {
+	return Info{Shape: in.Shape.Meet(o.Shape), Value: in.Value.Meet(o.Value)}
+}

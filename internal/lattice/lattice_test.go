@@ -1,0 +1,162 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/symbolic"
+)
+
+func TestDimMeet(t *testing.T) {
+	a := FromInt(3)
+	b := FromSym("x")
+	cases := []struct {
+		x, y, want Dim
+	}{
+		{Undef(), a, a},
+		{a, Undef(), a},
+		{a, a, a},
+		{a, b, NAC()},
+		{NAC(), a, NAC()},
+		{b, FromSym("x"), b},
+		{Undef(), Undef(), Undef()},
+		{NAC(), NAC(), NAC()},
+	}
+	for i, c := range cases {
+		if got := c.x.Meet(c.y); !got.Equal(c.want) {
+			t.Errorf("case %d: %v ∧ %v = %v, want %v", i, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func randDim(r *rand.Rand) Dim {
+	switch r.Intn(4) {
+	case 0:
+		return Undef()
+	case 1:
+		return NAC()
+	case 2:
+		return FromInt(int64(r.Intn(3)))
+	default:
+		return FromSym([]string{"x", "y"}[r.Intn(2)])
+	}
+}
+
+// Meet must be commutative, associative, and idempotent (lattice laws) —
+// convergence of the chaos algorithm in rdp depends on this.
+func TestQuickMeetLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b, c := randDim(r), randDim(r), randDim(r)
+		if !a.Meet(b).Equal(b.Meet(a)) {
+			return false
+		}
+		if !a.Meet(b.Meet(c)).Equal(a.Meet(b).Meet(c)) {
+			return false
+		}
+		return a.Meet(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapeMeet(t *testing.T) {
+	s1 := FromInts(2, 3)
+	s2 := Ranked(FromInt(2), FromSym("n"))
+	got := s1.Meet(s2)
+	if !got.Dims[0].Equal(FromInt(2)) || !got.Dims[1].IsNAC() {
+		t.Errorf("meet = %v", got)
+	}
+	if !UndefShape().Meet(s1).Equal(s1) {
+		t.Error("⊤ ∧ s != s")
+	}
+	if !s1.Meet(FromInts(2, 3, 4)).IsNAC() {
+		t.Error("rank mismatch should be ⊥")
+	}
+}
+
+func TestShapeNumElems(t *testing.T) {
+	s := Ranked(FromInt(2), FromSym("n"), FromInt(3))
+	n := s.NumElems()
+	v, err := n.Eval(symbolic.Env{"n": 5})
+	if err != nil || v != 30 {
+		t.Errorf("NumElems eval = %d, %v", v, err)
+	}
+	if !Ranked(FromInt(4)).NumElems().Equal(FromInt(4)) {
+		t.Error("const product wrong")
+	}
+	if !NACShape().NumElems().IsNAC() {
+		t.Error("⊥ shape should have ⊥ elem count")
+	}
+}
+
+func TestShapeIntsEval(t *testing.T) {
+	s := Ranked(FromInt(1), FromSym("L"), FromInt(8))
+	if _, ok := s.Ints(); ok {
+		t.Error("symbolic shape should not materialize as ints")
+	}
+	got, err := s.Eval(symbolic.Env{"L": 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 128 || got[2] != 8 {
+		t.Errorf("Eval = %v", got)
+	}
+}
+
+func TestShapePredicates(t *testing.T) {
+	known := FromInts(4, 5)
+	sym := Ranked(FromInt(4), FromSym("w"))
+	withNAC := Ranked(FromInt(4), NAC())
+	if !known.AllKnown() || sym.AllKnown() {
+		t.Error("AllKnown wrong")
+	}
+	if !sym.AllExpr() || withNAC.AllExpr() {
+		t.Error("AllExpr wrong")
+	}
+	if !withNAC.HasNACDim() || sym.HasNACDim() {
+		t.Error("HasNACDim wrong")
+	}
+}
+
+func TestValueMeet(t *testing.T) {
+	v1 := IntsValue(1, 2)
+	v2 := ElemsValue(FromInt(1), FromSym("k"))
+	m := v1.Meet(v2)
+	if !m.Elems[0].Equal(FromInt(1)) || !m.Elems[1].IsNAC() {
+		t.Errorf("meet = %v", m)
+	}
+	if !v1.Meet(IntsValue(1, 2, 3)).IsNAC() {
+		t.Error("length mismatch should be ⊥")
+	}
+	if ints, ok := v1.Ints(); !ok || ints[1] != 2 {
+		t.Errorf("Ints = %v, %v", ints, ok)
+	}
+}
+
+func TestInfoMeetEqual(t *testing.T) {
+	a := Info{Shape: FromInts(2), Value: IntsValue(7)}
+	b := UndefInfo()
+	if !a.Meet(b).Equal(a) || !b.Meet(a).Equal(a) {
+		t.Error("info meet with ⊤ should be identity")
+	}
+	if a.Equal(b) {
+		t.Error("distinct infos reported equal")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Undef().String() != "⊤" || NAC().String() != "⊥" {
+		t.Error("dim strings")
+	}
+	s := Ranked(FromInt(2), FromSym("n"))
+	if s.String() != "[2,n]" {
+		t.Errorf("shape string = %q", s.String())
+	}
+	v := ElemsValue(FromInt(3))
+	if v.String() != "{3}" {
+		t.Errorf("value string = %q", v.String())
+	}
+}

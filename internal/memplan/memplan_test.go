@@ -1,0 +1,161 @@
+package memplan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chainProgram models a linear chain: each value born at step i dies at
+// step i+1 (consumed by the next op).
+func chainProgram(n int, size int64) *Program {
+	p := &Program{Steps: n}
+	for i := 0; i < n; i++ {
+		death := i + 1
+		if death >= n {
+			death = n - 1
+		}
+		p.Bufs = append(p.Bufs, Buf{Name: name(i), Size: size, Birth: i, Death: death})
+	}
+	return p
+}
+
+func name(i int) string { return string(rune('a' + i)) }
+
+func TestChainReusesMemory(t *testing.T) {
+	p := chainProgram(6, 100)
+	for _, plan := range []*Plan{PeakFirst(p), BestFit(p)} {
+		if err := plan.Validate(p); err != nil {
+			t.Fatalf("%s: %v", plan.Strategy, err)
+		}
+		// At most 2 chain values live at once -> arena ~200 not 600.
+		if plan.ArenaSize > 200 {
+			t.Errorf("%s arena = %d, want <= 200", plan.Strategy, plan.ArenaSize)
+		}
+	}
+}
+
+func TestPeakLiveLowerBound(t *testing.T) {
+	p := chainProgram(6, 100)
+	if got := p.PeakLive(); got != 200 {
+		t.Errorf("peak live = %d", got)
+	}
+}
+
+func TestFromSteps(t *testing.T) {
+	steps := []StepSpec{
+		{Produces: []NamedSize{{"a", 10}}, Consumes: []string{"x"}},
+		{Produces: []NamedSize{{"b", 20}}, Consumes: []string{"a"}},
+		{Produces: []NamedSize{{"c", 30}}, Consumes: []string{"b"}},
+	}
+	p := FromSteps(steps, map[string]bool{"c": true})
+	if len(p.Bufs) != 3 {
+		t.Fatalf("bufs = %d", len(p.Bufs))
+	}
+	if p.Bufs[0].Birth != 0 || p.Bufs[0].Death != 1 {
+		t.Errorf("a lifetime = [%d,%d]", p.Bufs[0].Birth, p.Bufs[0].Death)
+	}
+	if p.Bufs[2].Death != 2 {
+		t.Errorf("output c death = %d", p.Bufs[2].Death)
+	}
+}
+
+func TestOptimalSmall(t *testing.T) {
+	// Diamond: a feeds b and c (parallel), both feed d.
+	p := &Program{Steps: 4, Bufs: []Buf{
+		{Name: "a", Size: 100, Birth: 0, Death: 2},
+		{Name: "b", Size: 50, Birth: 1, Death: 3},
+		{Name: "c", Size: 50, Birth: 2, Death: 3},
+		{Name: "d", Size: 100, Birth: 3, Death: 3},
+	}}
+	opt, err := Optimal(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if opt.ArenaSize != p.PeakLive() {
+		t.Errorf("optimal = %d, lower bound = %d", opt.ArenaSize, p.PeakLive())
+	}
+}
+
+func TestOptimalRefusesLarge(t *testing.T) {
+	p := chainProgram(15, 10)
+	if _, err := Optimal(p, 9); err == nil {
+		t.Error("expected cap error")
+	}
+}
+
+// The paper's §4.4.1 finding: peak-first is close to optimal, best-fit
+// can be worse. Verify orderings on randomized programs: optimal <=
+// peak-first and all plans valid.
+func TestQuickPlannersValidAndOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		n := r.Intn(6) + 3
+		p := &Program{Steps: n + 2}
+		for i := 0; i < n; i++ {
+			birth := r.Intn(n)
+			death := birth + r.Intn(n+2-birth)
+			p.Bufs = append(p.Bufs, Buf{
+				Name:  name(i),
+				Size:  int64(r.Intn(100)+1) * 8,
+				Birth: birth,
+				Death: death,
+			})
+		}
+		pf := PeakFirst(p)
+		bf := BestFit(p)
+		opt, err := Optimal(p, 9)
+		if err != nil {
+			return false
+		}
+		if pf.Validate(p) != nil || bf.Validate(p) != nil || opt.Validate(p) != nil {
+			return false
+		}
+		if opt.ArenaSize > pf.ArenaSize || opt.ArenaSize > bf.ArenaSize {
+			return false
+		}
+		return opt.ArenaSize >= p.PeakLive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A program shape where best-fit's small-slot preference fragments the
+// arena but peak-first packs the peak tightly.
+func TestPeakFirstBeatsBestFitOnPeakHeavyProgram(t *testing.T) {
+	p := &Program{Steps: 6, Bufs: []Buf{
+		{Name: "s1", Size: 32, Birth: 0, Death: 1},
+		{Name: "s2", Size: 32, Birth: 1, Death: 2},
+		{Name: "big1", Size: 100, Birth: 2, Death: 3}, // peak pair
+		{Name: "big2", Size: 100, Birth: 3, Death: 4},
+		{Name: "s3", Size: 32, Birth: 4, Death: 5},
+	}}
+	pf := PeakFirst(p)
+	bf := BestFit(p)
+	if err := pf.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if pf.ArenaSize > bf.ArenaSize {
+		t.Errorf("peak-first %d > best-fit %d", pf.ArenaSize, bf.ArenaSize)
+	}
+	if pf.ArenaSize != p.PeakLive() {
+		t.Errorf("peak-first %d != lower bound %d", pf.ArenaSize, p.PeakLive())
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := &Program{Steps: 0}
+	if plan := PeakFirst(p); plan.ArenaSize != 0 {
+		t.Error("empty arena should be 0")
+	}
+	if plan, err := Optimal(p, 0); err != nil || plan.ArenaSize != 0 {
+		t.Error("optimal empty")
+	}
+}

@@ -1,0 +1,75 @@
+package memplan
+
+import "fmt"
+
+// StepSpec describes one operator execution for liveness analysis:
+// the intermediate values it produces (with byte sizes) and the value
+// names it consumes.
+type StepSpec struct {
+	Produces []NamedSize
+	Consumes []string
+}
+
+// NamedSize pairs a value name with its byte size.
+type NamedSize struct {
+	Name string
+	Size int64
+}
+
+// FromSteps derives buffer lifetimes from an execution order. Values in
+// keepAlive (graph outputs) stay live through the final step. Values that
+// are produced but never consumed die at their producing step.
+func FromSteps(steps []StepSpec, keepAlive map[string]bool) *Program {
+	birth := map[string]int{}
+	death := map[string]int{}
+	size := map[string]int64{}
+	// alias maps an original value name to its current unique buffer name
+	// (re-produced names — e.g. subgraph-local values executed twice —
+	// become fresh buffers).
+	alias := map[string]string{}
+	gen := map[string]int{}
+	var order []string
+	for i, s := range steps {
+		for _, p := range s.Produces {
+			name := p.Name
+			if _, seen := birth[alias[name]]; seen || alias[name] != "" {
+				gen[name]++
+				unique := fmt.Sprintf("%s#%d", name, gen[name])
+				alias[name] = unique
+				name = unique
+			} else {
+				alias[p.Name] = name
+			}
+			order = append(order, name)
+			birth[name] = i
+			death[name] = i
+			size[name] = p.Size
+		}
+		for _, c := range s.Consumes {
+			if u := alias[c]; u != "" {
+				death[u] = i
+			}
+		}
+	}
+	// keepAlive refers to original names: translate through the alias.
+	if len(keepAlive) > 0 {
+		translated := map[string]bool{}
+		for k := range keepAlive {
+			if u := alias[k]; u != "" {
+				translated[u] = true
+			} else {
+				translated[k] = true
+			}
+		}
+		keepAlive = translated
+	}
+	p := &Program{Steps: len(steps)}
+	for _, name := range order {
+		d := death[name]
+		if keepAlive[name] {
+			d = len(steps) - 1
+		}
+		p.Bufs = append(p.Bufs, Buf{Name: name, Size: size[name], Birth: birth[name], Death: d})
+	}
+	return p
+}

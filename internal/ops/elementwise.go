@@ -1,0 +1,242 @@
+package ops
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+)
+
+// binaryValueOp applies an integer operation to tracked value elements;
+// nil means the op's values are not tracked symbolically.
+type binaryValueOp func(a, b symbolic.Expr) symbolic.Expr
+
+// forwardBinary builds the ForwardFn of a broadcasting binary elementwise
+// operator. When both operands carry tracked integer values (shape
+// arithmetic subgraphs: Shape→Gather→Mul→Concat→Reshape), the output value
+// is computed symbolically too — this is what lets RDP resolve data-driven
+// Reshape targets statically.
+func forwardBinary(vop binaryValueOp) ForwardFn {
+	return func(ctx *InferCtx) ([]lattice.Info, error) {
+		out := nOutputs(ctx.Node)
+		out[0].Shape = BroadcastShape(ctx.InShape(0), ctx.InShape(1))
+		if vop != nil {
+			av, bv := ctx.InValue(0), ctx.InValue(1)
+			out[0].Value = binaryValue(av, bv, vop)
+		}
+		return out, nil
+	}
+}
+
+func binaryValue(a, b lattice.ValueInfo, vop binaryValueOp) lattice.ValueInfo {
+	if a.Kind != lattice.ValueElems || b.Kind != lattice.ValueElems {
+		if a.IsNAC() || b.IsNAC() {
+			return lattice.NACValue()
+		}
+		return lattice.UndefValue()
+	}
+	n := len(a.Elems)
+	if len(b.Elems) > n {
+		n = len(b.Elems)
+	}
+	if len(a.Elems) != n && len(a.Elems) != 1 {
+		return lattice.UndefValue()
+	}
+	if len(b.Elems) != n && len(b.Elems) != 1 {
+		return lattice.UndefValue()
+	}
+	elems := make([]lattice.Dim, n)
+	for i := 0; i < n; i++ {
+		ae := a.Elems[i%len(a.Elems)]
+		be := b.Elems[i%len(b.Elems)]
+		if !ae.IsExpr() || !be.IsExpr() {
+			elems[i] = lattice.NAC()
+			continue
+		}
+		elems[i] = lattice.FromExpr(vop(ae.E, be.E))
+	}
+	return lattice.ElemsValue(elems...)
+}
+
+// backwardBinary refines the inputs of a broadcasting binary op from a
+// known output. Per the paper (§3, backward transfer): an input dim must
+// be 1 or equal to the output dim; it is only determined when the other
+// operand forces it (other dim == 1 ⇒ this dim == out dim) or when the
+// input is a same-rank operand of an op whose output dim is 1 (then the
+// input dim is 1 too).
+func backwardBinary(ctx *InferCtx) ([]lattice.Info, error) {
+	in := nInputs(ctx.Node)
+	outShape := ctx.Out[0].Shape
+	if outShape.Kind != lattice.ShapeRanked {
+		return in, nil
+	}
+	for which := 0; which < 2 && which < len(ctx.Node.Inputs); which++ {
+		this := ctx.InShape(which)
+		other := ctx.InShape(1 - which)
+		if this.Kind == lattice.ShapeRanked && this.AllExpr() {
+			continue // already resolved
+		}
+		// Rank must not exceed output rank; we can refine only when this
+		// input's rank equals the output's (the common residual case).
+		rank, ok := this.Rank()
+		if !ok || rank != len(outShape.Dims) {
+			continue
+		}
+		dims := make([]lattice.Dim, rank)
+		changed := false
+		for i := 0; i < rank; i++ {
+			cur := this.Dims[i]
+			if cur.IsExpr() {
+				dims[i] = cur
+				continue
+			}
+			od := outShape.Dims[i]
+			if ov, isC := od.Const(); isC && ov == 1 {
+				dims[i] = lattice.FromInt(1) // out 1 forces both inputs 1
+				changed = true
+				continue
+			}
+			// If the other operand's dim at this position is 1, this
+			// input determines the output, so it equals the output.
+			if other.Kind == lattice.ShapeRanked && len(other.Dims) == rank {
+				if ov, isC := other.Dims[i].Const(); isC && ov == 1 && od.IsExpr() {
+					dims[i] = od
+					changed = true
+					continue
+				}
+			}
+			dims[i] = cur
+		}
+		if changed {
+			in[which].Shape = lattice.Ranked(dims...)
+		}
+	}
+	return in, nil
+}
+
+// forwardUnary: output shape (and, when carry is true, tracked value)
+// equals the input's.
+func forwardUnary(carryValue bool) ForwardFn {
+	return func(ctx *InferCtx) ([]lattice.Info, error) {
+		out := nOutputs(ctx.Node)
+		out[0].Shape = ctx.InShape(0)
+		if carryValue {
+			out[0].Value = ctx.InValue(0)
+		}
+		return out, nil
+	}
+}
+
+// backwardUnary: input shape equals the output shape.
+func backwardUnary(ctx *InferCtx) ([]lattice.Info, error) {
+	in := nInputs(ctx.Node)
+	if len(in) > 0 {
+		in[0].Shape = ctx.Out[0].Shape
+	}
+	return in, nil
+}
+
+func registerUnary(name string, carryValue bool) {
+	Register(&Def{
+		Type:     name,
+		Class:    ISDOS,
+		Forward:  forwardUnary(carryValue),
+		Backward: backwardUnary,
+	})
+}
+
+func registerBinary(name string, vop binaryValueOp) {
+	Register(&Def{
+		Type:     name,
+		Class:    ISDOS,
+		Forward:  forwardBinary(vop),
+		Backward: backwardBinary,
+	})
+}
+
+func init() {
+	// Arithmetic binaries track symbolic integer values.
+	registerBinary("Add", func(a, b symbolic.Expr) symbolic.Expr { return symbolic.Add(a, b) })
+	registerBinary("Sub", symbolic.Sub)
+	registerBinary("Mul", func(a, b symbolic.Expr) symbolic.Expr { return symbolic.Mul(a, b) })
+	registerBinary("Div", symbolic.Div)
+	registerBinary("Mod", symbolic.Mod)
+	registerBinary("Min", func(a, b symbolic.Expr) symbolic.Expr { return symbolic.Min(a, b) })
+	registerBinary("Max", func(a, b symbolic.Expr) symbolic.Expr { return symbolic.Max(a, b) })
+	registerBinary("Pow", nil)
+	registerBinary("PRelu", nil)
+	// Comparisons and logic produce untracked bool tensors.
+	registerBinary("Equal", nil)
+	registerBinary("Greater", nil)
+	registerBinary("GreaterOrEqual", nil)
+	registerBinary("Less", nil)
+	registerBinary("LessOrEqual", nil)
+	registerBinary("And", nil)
+	registerBinary("Or", nil)
+	registerBinary("Xor", nil)
+
+	// Unary activations / math: shape-preserving, value untracked.
+	for _, name := range []string{
+		"Relu", "LeakyRelu", "Sigmoid", "HardSigmoid", "HardSwish", "Tanh",
+		"Erf", "Gelu", "Softplus", "Exp", "Log", "Sqrt", "Reciprocal",
+		"Floor", "Ceil", "Round", "Sign", "Silu", "Mish", "Elu", "Selu",
+	} {
+		registerUnary(name, false)
+	}
+	// Unary data movement: value tracked (Cast/Identity preserve integer
+	// contents, Neg/Abs/Not applied elementwise below when tracked).
+	registerUnary("Identity", true)
+	registerUnary("Cast", true)
+	Register(&Def{
+		Type:  "Neg",
+		Class: ISDOS,
+		Forward: func(ctx *InferCtx) ([]lattice.Info, error) {
+			out := nOutputs(ctx.Node)
+			out[0].Shape = ctx.InShape(0)
+			if v := ctx.InValue(0); v.Kind == lattice.ValueElems {
+				elems := make([]lattice.Dim, len(v.Elems))
+				for i, e := range v.Elems {
+					if e.IsExpr() {
+						elems[i] = lattice.FromExpr(symbolic.Neg(e.E))
+					} else {
+						elems[i] = e
+					}
+				}
+				out[0].Value = lattice.ElemsValue(elems...)
+			}
+			return out, nil
+		},
+		Backward: backwardUnary,
+	})
+	registerUnary("Abs", false)
+	registerUnary("Softsign", false)
+	registerUnary("Sin", false)
+	registerUnary("Cos", false)
+	registerUnary("ThresholdedRelu", false)
+	registerUnary("CumSum", false) // shape-preserving along the axis
+	registerUnary("Trilu", false)  // shape-preserving triangle mask
+	// ScatterElements: output shape equals the data input's.
+	Register(&Def{
+		Type:  "ScatterElements",
+		Class: ISDOS,
+		Forward: func(ctx *InferCtx) ([]lattice.Info, error) {
+			out := nOutputs(ctx.Node)
+			out[0].Shape = ctx.InShape(0)
+			return out, nil
+		},
+	})
+	registerUnary("Not", false)
+	registerUnary("Clip", false)
+	registerUnary("Dropout", false) // inference mode: identity
+	registerUnary("IsNaN", false)
+
+	// Where: elementwise select broadcast over three inputs.
+	Register(&Def{
+		Type:  "Where",
+		Class: ISDOS,
+		Forward: func(ctx *InferCtx) ([]lattice.Info, error) {
+			out := nOutputs(ctx.Node)
+			s := BroadcastShape(ctx.InShape(0), ctx.InShape(1))
+			out[0].Shape = BroadcastShape(s, ctx.InShape(2))
+			return out, nil
+		},
+	})
+}

@@ -1,0 +1,204 @@
+// Package ops is the operator registry behind SoD²'s classification of
+// DNN operators by dynamism degree (paper §3, Table 2). Every operator
+// carries its dynamism class, its forward shape/value transfer function,
+// an optional backward transfer function, and an analytic cost function
+// used by the device cost model. The four classes are:
+//
+//   - ISDO   (Input Shape Determined Output): output value depends only on
+//     input *shapes* (e.g. Shape, ConstantOfShape, EyeLike).
+//   - ISDOS  (Input Shape Determined Output Shape): output shape depends on
+//     input shapes; output values on input values (Conv, MatMul, Add, ...).
+//   - ISVDOS (Input Shape & Value Determined Output Shape): output shape
+//     additionally depends on some input *values* (Reshape, Range, ...).
+//   - EDO    (Execution Determined Output): output shape only known after
+//     executing the operator (NonZero, If, Loop, <Switch, Combine>).
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+// DynClass is the dynamism degree of an operator.
+type DynClass uint8
+
+// The four dynamism classes of Table 2.
+const (
+	ISDO DynClass = iota
+	ISDOS
+	ISVDOS
+	EDO
+)
+
+func (c DynClass) String() string {
+	switch c {
+	case ISDO:
+		return "InputShapeDeterminedOutput"
+	case ISDOS:
+		return "InputShapeDeterminedOutputShape"
+	case ISVDOS:
+		return "InputShape&ValueDeterminedOutputShape"
+	case EDO:
+		return "ExecutionDeterminedOutput"
+	default:
+		return fmt.Sprintf("DynClass(%d)", uint8(c))
+	}
+}
+
+// InferCtx carries the lattice state visible to a transfer function.
+type InferCtx struct {
+	Node *graph.Node
+	// In holds the current lattice info of each input (aligned with
+	// Node.Inputs; omitted optional inputs are fully undef).
+	In []lattice.Info
+	// Out holds the current lattice info of each output.
+	Out []lattice.Info
+	// FreshSym mints a fresh symbolic constant (used by ISDO value
+	// assignment and by operators that introduce new unknowns).
+	FreshSym func(hint string) symbolic.Expr
+	// Initializer resolves constant tensors by value name (nil if the
+	// input is not a compile-time constant).
+	Initializer func(name string) *tensor.Tensor
+}
+
+// InConst returns the initializer tensor behind input i, if any.
+func (c *InferCtx) InConst(i int) *tensor.Tensor {
+	if c.Initializer == nil || i >= len(c.Node.Inputs) || c.Node.Inputs[i] == "" {
+		return nil
+	}
+	return c.Initializer(c.Node.Inputs[i])
+}
+
+// InShape returns the lattice shape of input i (undef when absent).
+func (c *InferCtx) InShape(i int) lattice.Shape {
+	if i >= len(c.In) {
+		return lattice.UndefShape()
+	}
+	return c.In[i].Shape
+}
+
+// InValue returns the lattice value of input i (undef when absent).
+func (c *InferCtx) InValue(i int) lattice.ValueInfo {
+	if i >= len(c.In) {
+		return lattice.UndefValue()
+	}
+	return c.In[i].Value
+}
+
+// ForwardFn computes the output infos from the inputs. Returning an info
+// with undef components means "no information" — the driver meets the
+// result into the existing out-map.
+type ForwardFn func(ctx *InferCtx) ([]lattice.Info, error)
+
+// BackwardFn refines the *input* infos from the output infos. It returns
+// one info per input; undef components mean "no refinement".
+type BackwardFn func(ctx *InferCtx) ([]lattice.Info, error)
+
+// CostFn estimates the work of one execution given concrete shapes.
+type CostFn func(node *graph.Node, in, out [][]int64) (flops, bytes int64)
+
+// Def describes one registered operator.
+type Def struct {
+	Type     string
+	Class    DynClass
+	Forward  ForwardFn
+	Backward BackwardFn
+	Cost     CostFn
+}
+
+var registry = map[string]*Def{}
+
+// Register installs an operator definition; duplicate types panic to
+// surface init-time mistakes immediately.
+func Register(def *Def) {
+	if _, dup := registry[def.Type]; dup {
+		panic("ops: duplicate registration of " + def.Type)
+	}
+	if def.Cost == nil {
+		def.Cost = DefaultCost
+	}
+	registry[def.Type] = def
+}
+
+// Get returns the definition of the op type.
+func Get(opType string) (*Def, bool) {
+	d, ok := registry[opType]
+	return d, ok
+}
+
+// MustGet returns the definition or panics — for internal pipelines that
+// validated the graph already.
+func MustGet(opType string) *Def {
+	d, ok := registry[opType]
+	if !ok {
+		panic("ops: unregistered op " + opType)
+	}
+	return d
+}
+
+// Types returns all registered op types, sorted.
+func Types() []string {
+	out := make([]string, 0, len(registry))
+	for t := range registry {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassOf returns the static dynamism class of the op type (EDO for
+// unknown ops, the conservative default).
+func ClassOf(opType string) DynClass {
+	if d, ok := registry[opType]; ok {
+		return d.Class
+	}
+	return EDO
+}
+
+// DefaultCost charges one flop per output element and the byte traffic of
+// all inputs and outputs — the right model for elementwise/data-movement
+// operators.
+func DefaultCost(node *graph.Node, in, out [][]int64) (int64, int64) {
+	var flops, bytes int64
+	for _, s := range out {
+		n := tensor.NumElems(s)
+		flops += n
+		bytes += n * 4
+	}
+	for _, s := range in {
+		bytes += tensor.NumElems(s) * 4
+	}
+	return flops, bytes
+}
+
+// nOutputs returns infos sized to the node's outputs, fully undef.
+func nOutputs(node *graph.Node) []lattice.Info {
+	out := make([]lattice.Info, len(node.Outputs))
+	for i := range out {
+		out[i] = lattice.UndefInfo()
+	}
+	return out
+}
+
+// nInputs returns infos sized to the node's inputs, fully undef.
+func nInputs(node *graph.Node) []lattice.Info {
+	out := make([]lattice.Info, len(node.Inputs))
+	for i := range out {
+		out[i] = lattice.UndefInfo()
+	}
+	return out
+}
+
+// nacOutputs returns all-NAC infos — the EDO forward result.
+func nacOutputs(node *graph.Node) []lattice.Info {
+	out := make([]lattice.Info, len(node.Outputs))
+	for i := range out {
+		out[i] = lattice.Info{Shape: lattice.NACShape(), Value: lattice.NACValue()}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/fusion"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/rdp"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+func analyzed(t *testing.T, g *graph.Graph) map[string]lattice.Info {
+	t.Helper()
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Infos
+}
+
+// wideGraph: input fans out into k branches of different sizes that all
+// join at the end — order matters for peak memory.
+func wideGraph() *graph.Graph {
+	g := graph.New("wide")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(1024))
+	// Branch A: big intermediate (Tile by 8), then reduce.
+	g.AddInitializer("reps", tensor.FromInts([]int64{1}, []int64{8}))
+	g.Op("Tile", "bigT", []string{"x", "reps"}, []string{"big"}, nil)
+	g.Op("ReduceSum", "bigR", []string{"big"}, []string{"smallA"}, map[string]graph.AttrValue{
+		"keepdims": graph.IntAttr(1)})
+	// Branch B: small chain.
+	g.Op("ReduceMax", "smallR", []string{"x"}, []string{"smallB"}, map[string]graph.AttrValue{
+		"keepdims": graph.IntAttr(1)})
+	g.Op("Add", "join", []string{"smallA", "smallB"}, []string{"out"}, nil)
+	g.AddOutput("out")
+	return g
+}
+
+func TestExhaustiveOrderMinimizesPeak(t *testing.T) {
+	g := wideGraph()
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Order) != len(g.Nodes) {
+		t.Fatalf("order covers %d/%d nodes", len(p.Order), len(g.Nodes))
+	}
+	// A naive topological order may hold `big` while running the small
+	// branch; the planner must not be worse.
+	sorted, _ := g.TopoSort()
+	sizes := Sizes(g, infos, symbolic.Env{}, nil)
+	naive := PeakBytes(g, sorted, sizes)
+	if p.PeakBytes > naive {
+		t.Errorf("planned peak %d > naive %d", p.PeakBytes, naive)
+	}
+}
+
+func TestOrderIsValidTopological(t *testing.T) {
+	g := wideGraph()
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*graph.Node]bool{}
+	for _, n := range p.Order {
+		for _, pred := range g.Predecessors(n) {
+			if !seen[pred] {
+				t.Fatalf("node %s scheduled before predecessor %s", n.Name, pred.Name)
+			}
+		}
+		seen[n] = true
+	}
+}
+
+func TestGreedyOnLargeGraph(t *testing.T) {
+	g := graph.New("large")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(256))
+	prev := "x"
+	for i := 0; i < 30; i++ { // beyond exhaustive cap
+		out := prev + "r"
+		g.Op("Relu", out+"n", []string{prev}, []string{out}, nil)
+		prev = out
+	}
+	g.AddOutput(prev)
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Order) != 30 {
+		t.Fatalf("order len = %d", len(p.Order))
+	}
+	// Chain peak: two live tensors.
+	if p.PeakBytes != 2*256*4 {
+		t.Errorf("peak = %d", p.PeakBytes)
+	}
+}
+
+func TestPartitionAtEDOBoundary(t *testing.T) {
+	g := graph.New("parts")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(8))
+	g.Op("Relu", "r1", []string{"x"}, []string{"a"}, nil)
+	g.Op("Sigmoid", "s1", []string{"a"}, []string{"b"}, nil)
+	g.Op("NonZero", "nz", []string{"b"}, []string{"idx"}, nil) // boundary
+	g.Op("Cast", "c1", []string{"idx"}, []string{"f"}, map[string]graph.AttrValue{
+		"to": graph.StringAttr("float32")})
+	g.AddOutput("f")
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subgraphs) < 3 {
+		t.Fatalf("subgraphs = %d, want >= 3", len(p.Subgraphs))
+	}
+	var nacCount, knownCount int
+	for _, sg := range p.Subgraphs {
+		switch sg.Class {
+		case WithNAC:
+			nacCount++
+		case AllKnownConst:
+			knownCount++
+		}
+	}
+	if nacCount < 2 { // NonZero itself + downstream Cast with nac shape
+		t.Errorf("nac subgraphs = %d", nacCount)
+	}
+	if knownCount < 1 {
+		t.Errorf("known subgraphs = %d", knownCount)
+	}
+}
+
+func TestClassificationSymbolic(t *testing.T) {
+	g := graph.New("sym")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(lattice.FromInt(1), lattice.FromSym("L")))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subgraphs) != 1 || p.Subgraphs[0].Class != MixedConst1 {
+		t.Errorf("subgraphs = %+v", p.Subgraphs[0])
+	}
+}
+
+func TestDisableMemoryAwareOrder(t *testing.T) {
+	g := wideGraph()
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{DisableMemoryAwareOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, _ := g.TopoSort()
+	for i := range sorted {
+		if p.Order[i] != sorted[i] {
+			t.Fatal("disabled SEP should keep topo order")
+		}
+	}
+}
+
+func TestNominalEnvStability(t *testing.T) {
+	g := graph.New("env")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(lattice.FromSym("H"), lattice.FromSym("W")))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	infos := analyzed(t, g)
+	p1, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.PeakBytes <= 0 {
+		t.Errorf("peak = %d, want > 0 under nominal env", p1.PeakBytes)
+	}
+}
+
+func TestBFSOrderValidAndWavey(t *testing.T) {
+	g := wideGraph()
+	order := BFSOrder(g)
+	if len(order) != len(g.Nodes) {
+		t.Fatalf("order covers %d/%d", len(order), len(g.Nodes))
+	}
+	seen := map[*graph.Node]bool{}
+	for _, n := range order {
+		for _, p := range g.Predecessors(n) {
+			if !seen[p] {
+				t.Fatalf("%s before predecessor %s", n.Name, p.Name)
+			}
+		}
+		seen[n] = true
+	}
+	// BFS schedules the two independent first-wave nodes adjacently.
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	if d := pos["bigT"] - pos["smallR"]; d > 1 && d < -1 {
+		t.Errorf("first wave split: %v", pos)
+	}
+}
+
+func TestMixedConstVersionsClassification(t *testing.T) {
+	// An Add whose operands are two distinct symbols needs multiple code
+	// versions; its sub-graph classifies as mixed-const(2-4) or worse.
+	g := graph.New("versions")
+	g.AddInput("a", tensor.Float32, lattice.Ranked(lattice.FromSym("I"), lattice.FromSym("J")))
+	g.AddInput("b", tensor.Float32, lattice.Ranked(lattice.FromSym("I"), lattice.FromSym("K")))
+	g.Op("Add", "add", []string{"a", "b"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	infos := analyzed(t, g)
+	fp := fusion.Fuse(g, infos, fusion.RDP)
+	p, err := Build(g, infos, Options{Fusion: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SubgraphClass
+	for _, sg := range p.Subgraphs {
+		if len(sg.Nodes) > 0 {
+			got = sg.Class
+		}
+	}
+	if got != MixedConst2to4 {
+		t.Errorf("class = %v, want mixed-const(2-4)", got)
+	}
+}

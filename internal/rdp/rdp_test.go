@@ -1,0 +1,360 @@
+package rdp
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+func analyze(t *testing.T, g *graph.Graph) *Result {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	res, err := Analyze(g, nil, Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+// symShape builds [dims...] where strings become symbols and ints consts.
+func symShape(dims ...interface{}) lattice.Shape {
+	out := make([]lattice.Dim, len(dims))
+	for i, d := range dims {
+		switch v := d.(type) {
+		case int:
+			out[i] = lattice.FromInt(int64(v))
+		case string:
+			out[i] = lattice.FromSym(v)
+		case lattice.Dim:
+			out[i] = v
+		}
+	}
+	return lattice.Ranked(out...)
+}
+
+func TestConvChainSymbolicPropagation(t *testing.T) {
+	g := graph.New("convchain")
+	g.AddInput("x", tensor.Float32, symShape(1, 3, "H", "W"))
+	g.AddInitializer("w1", tensor.New(tensor.Float32, 16, 3, 3, 3))
+	g.Op("Conv", "c1", []string{"x", "w1"}, []string{"y"}, map[string]graph.AttrValue{
+		"pads": graph.IntsAttr(1, 1, 1, 1), "strides": graph.IntsAttr(2, 2)})
+	g.Op("Relu", "r1", []string{"y"}, []string{"z"}, nil)
+	g.Op("GlobalAveragePool", "p", []string{"z"}, []string{"g"}, nil)
+	g.AddOutput("g")
+	res := analyze(t, g)
+
+	z := res.Infos["z"].Shape
+	v, err := z.Dims[2].Eval(symbolic.Env{"H": 224, "W": 224})
+	if err != nil || v != 112 {
+		t.Errorf("z H-dim = %d (%v), shape %v", v, err, z)
+	}
+	gp := res.Infos["g"].Shape
+	if c, _ := gp.Dims[2].Const(); c != 1 {
+		t.Errorf("pooled = %v", gp)
+	}
+	if res.Statistics().ByClass[ClassNAC] != 0 {
+		t.Errorf("no tensor should be ⊥: %v", res.Statistics())
+	}
+}
+
+// The transformer idiom: Shape → Gather → (arith) → Concat → Reshape. RDP
+// must resolve the reshaped tensor symbolically (multi-head attention
+// style [1, L, 64] → [1, L, 8, 8] → transpose).
+func TestShapeComputationSubgraphResolved(t *testing.T) {
+	g := graph.New("reshapeidiom")
+	g.AddInput("x", tensor.Float32, symShape(1, "L", 64))
+	g.AddInitializer("idx1", tensor.ScalarInt(1))
+	g.AddInitializer("heads", tensor.FromInts([]int64{1}, []int64{8}))
+	g.AddInitializer("hdim", tensor.FromInts([]int64{1}, []int64{8}))
+	g.AddInitializer("one", tensor.FromInts([]int64{1}, []int64{1}))
+	g.Op("Shape", "shp", []string{"x"}, []string{"xshape"}, nil)
+	g.Op("Gather", "gl", []string{"xshape", "idx1"}, []string{"lseq"}, nil)
+	g.Op("Unsqueeze", "uq", []string{"lseq"}, []string{"lvec"}, map[string]graph.AttrValue{
+		"axes": graph.IntsAttr(0)})
+	g.Op("Concat", "cat", []string{"one", "lvec", "heads", "hdim"}, []string{"target"}, map[string]graph.AttrValue{
+		"axis": graph.IntAttr(0)})
+	g.Op("Reshape", "rs", []string{"x", "target"}, []string{"split"}, nil)
+	g.Op("Transpose", "tp", []string{"split"}, []string{"perm"}, map[string]graph.AttrValue{
+		"perm": graph.IntsAttr(0, 2, 1, 3)})
+	g.AddOutput("perm")
+	res := analyze(t, g)
+
+	s := res.Infos["perm"].Shape
+	if r, _ := s.Rank(); r != 4 {
+		t.Fatalf("perm shape = %v", s)
+	}
+	// [1, 8, L, 8]
+	if c, _ := s.Dims[1].Const(); c != 8 {
+		t.Errorf("heads dim = %v", s.Dims[1])
+	}
+	if !s.Dims[2].Equal(lattice.FromSym("L")) {
+		t.Errorf("L dim = %v", s.Dims[2])
+	}
+	if ClassifyShape(s) != ClassSymbolic {
+		t.Errorf("class = %v", ClassifyShape(s))
+	}
+}
+
+// Fig. 3(b): a known output shape flows backward through the graph.
+func TestBackwardTransferFromOutput(t *testing.T) {
+	g := graph.New("backward")
+	g.AddInput("x", tensor.Float32, lattice.UndefShape())
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.Op("Transpose", "t", []string{"y"}, []string{"z"}, map[string]graph.AttrValue{
+		"perm": graph.IntsAttr(1, 0)})
+	g.AddOutput("z")
+
+	out := symShape(lattice.FromExpr(symbolic.Mul(symbolic.NewConst(2), symbolic.NewSym("a"))), "b")
+	res, err := Analyze(g, map[string]lattice.Shape{"z": out}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Infos["x"].Shape
+	if x.Kind != lattice.ShapeRanked {
+		t.Fatalf("x not resolved: %v", x)
+	}
+	// x = transpose⁻¹(z) = [b, 2a]
+	if !x.Dims[0].Equal(lattice.FromSym("b")) {
+		t.Errorf("x dims = %v", x)
+	}
+	if v, err := x.Dims[1].Eval(symbolic.Env{"a": 5}); err != nil || v != 10 {
+		t.Errorf("x dim1 = %v", x.Dims[1])
+	}
+	if res.BackwardResolved == 0 {
+		t.Error("backward resolution not counted")
+	}
+
+	// With backward disabled nothing resolves.
+	res2, err := Analyze(g, map[string]lattice.Shape{"z": out}, Options{DisableBackward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Infos["x"].Shape.Kind == lattice.ShapeRanked {
+		t.Error("backward disabled but input resolved")
+	}
+}
+
+func TestEDOProducesNAC(t *testing.T) {
+	g := graph.New("edo")
+	g.AddInput("x", tensor.Float32, symShape(1, "N"))
+	g.Op("NonZero", "nz", []string{"x"}, []string{"idx"}, nil)
+	g.Op("Transpose", "t", []string{"idx"}, []string{"idxT"}, nil)
+	g.AddOutput("idxT")
+	res := analyze(t, g)
+	if !res.Infos["idx"].Shape.HasNACDim() {
+		t.Errorf("NonZero output = %v", res.Infos["idx"].Shape)
+	}
+	st := res.Statistics()
+	if st.ByClass[ClassNAC] < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSwitchCombineShapesAgree(t *testing.T) {
+	g := graph.New("gated")
+	g.AddInput("x", tensor.Float32, symShape(1, 16, "H", "H"))
+	g.AddInput("gate", tensor.Float32, lattice.FromInts())
+	g.AddInitializer("w", tensor.New(tensor.Float32, 16, 16, 3, 3))
+	g.Op("Switch", "sw", []string{"gate", "x"}, []string{"taken", "skipped"}, nil)
+	g.Op("Conv", "blk", []string{"taken", "w"}, []string{"convout"}, map[string]graph.AttrValue{
+		"pads": graph.IntsAttr(1, 1, 1, 1)})
+	g.Op("Combine", "cb", []string{"convout", "skipped"}, []string{"out"}, nil)
+	g.AddOutput("out")
+	res := analyze(t, g)
+	out := res.Infos["out"].Shape
+	if out.Kind != lattice.ShapeRanked || out.HasNACDim() {
+		t.Fatalf("combine out = %v", out)
+	}
+	if !out.Dims[2].Equal(lattice.FromSym("H")) {
+		t.Errorf("H preserved: %v", out)
+	}
+}
+
+func TestIfWithUnknownCondMeets(t *testing.T) {
+	mkBody := func(name string, ch int64) *graph.Graph {
+		b := graph.New(name)
+		b.AddInput("bx", tensor.Float32, lattice.UndefShape())
+		b.AddInitializer("bw", tensor.New(tensor.Float32, ch, 8, 1, 1))
+		b.Op("Conv", "bc", []string{"bx", "bw"}, []string{"bout"}, nil)
+		b.AddOutput("bout")
+		return b
+	}
+	g := graph.New("ifmodel")
+	g.AddInput("cond", tensor.Bool, lattice.FromInts())
+	g.AddInput("x", tensor.Float32, symShape(1, 8, "H", "H"))
+	g.Op("If", "branch", []string{"cond", "x"}, []string{"y"}, map[string]graph.AttrValue{
+		"then_branch": graph.GraphAttr(mkBody("then", 16)),
+		"else_branch": graph.GraphAttr(mkBody("else", 16)),
+	})
+	g.AddOutput("y")
+	res := analyze(t, g)
+	y := res.Infos["y"].Shape
+	if y.Kind != lattice.ShapeRanked {
+		t.Fatalf("if out = %v", y)
+	}
+	if c, _ := y.Dims[1].Const(); c != 16 {
+		t.Errorf("channels = %v", y)
+	}
+
+	// Disagreeing branches: channel dim becomes ⊥ but spatial stays known.
+	g2 := graph.New("ifmodel2")
+	g2.AddInput("cond", tensor.Bool, lattice.FromInts())
+	g2.AddInput("x", tensor.Float32, symShape(1, 8, "H", "H"))
+	g2.Op("If", "branch", []string{"cond", "x"}, []string{"y"}, map[string]graph.AttrValue{
+		"then_branch": graph.GraphAttr(mkBody("then", 16)),
+		"else_branch": graph.GraphAttr(mkBody("else", 32)),
+	})
+	g2.AddOutput("y")
+	res2 := analyze(t, g2)
+	y2 := res2.Infos["y"].Shape
+	if !y2.Dims[1].IsNAC() {
+		t.Errorf("conflicting channels should be ⊥: %v", y2)
+	}
+	if !y2.Dims[2].Equal(lattice.FromSym("H")) {
+		t.Errorf("spatial should survive: %v", y2)
+	}
+}
+
+func TestIfWithConstantCondCollapses(t *testing.T) {
+	mkBody := func(name string, ch int64) *graph.Graph {
+		b := graph.New(name)
+		b.AddInput("bx", tensor.Float32, lattice.UndefShape())
+		b.AddInitializer("bw", tensor.New(tensor.Float32, ch, 8, 1, 1))
+		b.Op("Conv", "bc", []string{"bx", "bw"}, []string{"bout"}, nil)
+		b.AddOutput("bout")
+		return b
+	}
+	g := graph.New("constif")
+	g.AddInitializer("cond", tensor.ScalarInt(1))
+	g.AddInput("x", tensor.Float32, symShape(1, 8, "H", "H"))
+	g.Op("If", "branch", []string{"cond", "x"}, []string{"y"}, map[string]graph.AttrValue{
+		"then_branch": graph.GraphAttr(mkBody("then", 16)),
+		"else_branch": graph.GraphAttr(mkBody("else", 32)),
+	})
+	g.AddOutput("y")
+	res := analyze(t, g)
+	if c, _ := res.Infos["y"].Shape.Dims[1].Const(); c != 16 {
+		t.Errorf("constant cond should select then-branch: %v", res.Infos["y"].Shape)
+	}
+}
+
+func TestLoopShapeInvariant(t *testing.T) {
+	body := graph.New("body")
+	body.AddInput("iter", tensor.Int64, lattice.FromInts())
+	body.AddInput("cond_in", tensor.Bool, lattice.FromInts())
+	body.AddInput("carried", tensor.Float32, lattice.UndefShape())
+	body.Op("Identity", "ic", []string{"cond_in"}, []string{"cond_out"}, nil)
+	body.Op("Relu", "step", []string{"carried"}, []string{"carried_out"}, nil)
+	body.AddOutput("cond_out")
+	body.AddOutput("carried_out")
+
+	g := graph.New("loopmodel")
+	g.AddInitializer("trip", tensor.ScalarInt(4))
+	g.AddInitializer("cond", tensor.ScalarBool(true))
+	g.AddInput("x", tensor.Float32, symShape(1, "N"))
+	g.Op("Loop", "lp", []string{"trip", "cond", "x"}, []string{"y"}, map[string]graph.AttrValue{
+		"body": graph.GraphAttr(body),
+	})
+	g.AddOutput("y")
+	res := analyze(t, g)
+	y := res.Infos["y"].Shape
+	if y.Kind != lattice.ShapeRanked || !y.Dims[1].Equal(lattice.FromSym("N")) {
+		t.Errorf("loop-invariant carried shape lost: %v", y)
+	}
+}
+
+func TestUnknownOpIsNAC(t *testing.T) {
+	g := graph.New("unknown")
+	g.AddInput("x", tensor.Float32, symShape(2, 2))
+	g.Op("MyCustomOp", "c", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res := analyze(t, g)
+	if !res.Infos["y"].Shape.IsNAC() {
+		t.Errorf("unknown op output = %v", res.Infos["y"].Shape)
+	}
+}
+
+func TestFreshSymbolsForUndefInputDims(t *testing.T) {
+	g := graph.New("fresh")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(lattice.FromInt(1), lattice.Undef()))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res := analyze(t, g)
+	y := res.Infos["y"].Shape
+	if ClassifyShape(y) != ClassSymbolic {
+		t.Errorf("expected minted symbol, got %v (%v)", y, ClassifyShape(y))
+	}
+}
+
+func TestConvergesQuickly(t *testing.T) {
+	g := graph.New("deep")
+	g.AddInput("x", tensor.Float32, symShape(1, "N"))
+	prev := "x"
+	for i := 0; i < 50; i++ {
+		out := prev + "_r"
+		g.Op("Relu", prev+"_n", []string{prev}, []string{out}, nil)
+		prev = out
+	}
+	g.AddOutput(prev)
+	res := analyze(t, g)
+	if res.Iterations > 3 {
+		t.Errorf("iterations = %d, want <= 3", res.Iterations)
+	}
+}
+
+func TestBindShapes(t *testing.T) {
+	env := symbolic.Env{}
+	decl := symShape(1, "L", 64)
+	if err := BindShapes(decl, []int64{1, 128, 64}, env); err != nil {
+		t.Fatal(err)
+	}
+	if env["L"] != 128 {
+		t.Errorf("env = %v", env)
+	}
+	if err := BindShapes(decl, []int64{1, 256, 64}, env); err == nil {
+		t.Error("conflicting binding should error")
+	}
+	if err := BindShapes(decl, []int64{2, 128, 64}, symbolic.Env{}); err == nil {
+		t.Error("const mismatch should error")
+	}
+	if err := BindShapes(decl, []int64{1, 1}, env); err == nil {
+		t.Error("rank mismatch should error")
+	}
+}
+
+func TestDumpAndStats(t *testing.T) {
+	g := graph.New("dump")
+	g.AddInput("x", tensor.Float32, symShape(1, "N"))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res := analyze(t, g)
+	if res.Statistics().ResolvedFraction() != 1.0 {
+		t.Errorf("resolved fraction = %f", res.Statistics().ResolvedFraction())
+	}
+	if len(res.Dump()) == 0 {
+		t.Error("empty dump")
+	}
+}
+
+func TestClassifyDim(t *testing.T) {
+	cases := []struct {
+		d    lattice.Dim
+		want DimClass
+	}{
+		{lattice.FromInt(4), ClassKnown},
+		{lattice.FromSym("x"), ClassSymbolic},
+		{lattice.FromExpr(symbolic.Add(symbolic.NewSym("x"), symbolic.One)), ClassOpInferred},
+		{lattice.NAC(), ClassNAC},
+		{lattice.Undef(), ClassUndef},
+	}
+	for _, c := range cases {
+		if got := ClassifyDim(c.d); got != c.want {
+			t.Errorf("ClassifyDim(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}

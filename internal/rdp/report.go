@@ -1,0 +1,166 @@
+package rdp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+)
+
+// DimClass refines the lattice element classes for reporting (Fig. 2 and
+// the sub-graph statistics of Fig. 8).
+type DimClass uint8
+
+// Dimension classes in increasing dynamism order.
+const (
+	ClassKnown      DimClass = iota // known integer constant
+	ClassSymbolic                   // single symbolic constant
+	ClassOpInferred                 // expression over constants
+	ClassNAC                        // ⊥
+	ClassUndef                      // ⊤ (analysis never reached it)
+)
+
+func (c DimClass) String() string {
+	switch c {
+	case ClassKnown:
+		return "known"
+	case ClassSymbolic:
+		return "symbolic"
+	case ClassOpInferred:
+		return "op-inferred"
+	case ClassNAC:
+		return "nac"
+	default:
+		return "undef"
+	}
+}
+
+// ClassifyDim maps a lattice dim to its reporting class.
+func ClassifyDim(d lattice.Dim) DimClass {
+	switch d.Kind {
+	case lattice.DimUndef:
+		return ClassUndef
+	case lattice.DimNAC:
+		return ClassNAC
+	default:
+		if _, ok := d.Const(); ok {
+			return ClassKnown
+		}
+		if _, isSym := d.E.(symbolic.Sym); isSym {
+			return ClassSymbolic
+		}
+		return ClassOpInferred
+	}
+}
+
+// ClassifyShape reports the most dynamic class among a shape's dims.
+func ClassifyShape(s lattice.Shape) DimClass {
+	switch s.Kind {
+	case lattice.ShapeUndef:
+		return ClassUndef
+	case lattice.ShapeNAC:
+		return ClassNAC
+	}
+	worst := ClassKnown
+	for _, d := range s.Dims {
+		if c := ClassifyDim(d); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// Stats aggregates per-tensor classes over an analysis result.
+type Stats struct {
+	Total      int
+	ByClass    map[DimClass]int
+	NACValues  []string // names of ⊥-shaped tensors
+	Unresolved []string // names of ⊤-shaped tensors
+}
+
+// Statistics summarizes the result's S-map by class.
+func (r *Result) Statistics() Stats {
+	st := Stats{ByClass: map[DimClass]int{}}
+	names := make([]string, 0, len(r.Infos))
+	for n := range r.Infos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := ClassifyShape(r.Infos[n].Shape)
+		st.Total++
+		st.ByClass[c]++
+		switch c {
+		case ClassNAC:
+			st.NACValues = append(st.NACValues, n)
+		case ClassUndef:
+			st.Unresolved = append(st.Unresolved, n)
+		}
+	}
+	return st
+}
+
+// ResolvedFraction is the fraction of tensors with fully analyzable
+// (non-⊥, non-⊤) shapes.
+func (s Stats) ResolvedFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	resolved := s.ByClass[ClassKnown] + s.ByClass[ClassSymbolic] + s.ByClass[ClassOpInferred]
+	return float64(resolved) / float64(s.Total)
+}
+
+// Dump renders the analysis result as a readable table (one line per
+// value), primarily for the `sod2 analyze` CLI.
+func (r *Result) Dump() string {
+	names := make([]string, 0, len(r.Infos))
+	for n := range r.Infos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		info := r.Infos[n]
+		fmt.Fprintf(&b, "%-40s shape=%-30s class=%-11s value=%s\n",
+			n, info.Shape.String(), ClassifyShape(info.Shape).String(), info.Value.String())
+	}
+	return b.String()
+}
+
+// BindShapes unifies a declared (possibly symbolic) shape with a concrete
+// runtime shape, extending env with symbol bindings. It errors when a
+// known constant or an already-bound symbol disagrees, and defers
+// compound-expression checks to VerifyBindings.
+func BindShapes(declared lattice.Shape, concrete []int64, env symbolic.Env) error {
+	if declared.Kind != lattice.ShapeRanked {
+		return nil
+	}
+	if len(declared.Dims) != len(concrete) {
+		return fmt.Errorf("rdp: rank mismatch: declared %s vs concrete %v", declared, concrete)
+	}
+	for i, d := range declared.Dims {
+		if !d.IsExpr() {
+			continue
+		}
+		if c, ok := d.Const(); ok {
+			if c != concrete[i] {
+				return fmt.Errorf("rdp: dim %d: declared %d, got %d", i, c, concrete[i])
+			}
+			continue
+		}
+		if s, ok := d.E.(symbolic.Sym); ok {
+			if prev, bound := env[s.Name]; bound && prev != concrete[i] {
+				return fmt.Errorf("rdp: symbol %s bound to both %d and %d", s.Name, prev, concrete[i])
+			}
+			env[s.Name] = concrete[i]
+			continue
+		}
+		// Compound expression: check if fully bound.
+		if v, err := d.E.Eval(env); err == nil && v != concrete[i] {
+			return fmt.Errorf("rdp: dim %d: %s = %d under env, got %d", i, d.E, v, concrete[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package remat implements a rematerialization planner in the style of
+// XLA's (used by the paper's Fig. 11 TFLite baseline: when the memory
+// budget is below the natural peak, some intermediate tensors are
+// evicted and recomputed from their producers instead of kept live).
+// Given a liveness program and a byte budget, the planner greedily picks
+// eviction candidates — largest memory×lifetime benefit per recompute
+// flop — splits their live ranges at each later use, and reports the
+// recompute work the schedule adds. The paper's related work ([24, 30])
+// frames this as the memory/latency trade-off SoD² avoids by planning.
+package remat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memplan"
+)
+
+// Candidate describes one evictable buffer.
+type Candidate struct {
+	Name string
+	Size int64
+	// RecomputeCost is the work (arbitrary units, e.g. µs or flops) to
+	// re-produce the buffer from live inputs.
+	RecomputeCost float64
+	// Uses are the step indices that read the buffer after its birth.
+	Uses []int
+}
+
+// Plan is the chosen rematerialization schedule.
+type Plan struct {
+	// Evicted lists buffers that are dropped after each use and
+	// recomputed before the next.
+	Evicted []string
+	// ExtraCompute is the total added recompute work.
+	ExtraCompute float64
+	// PeakBytes is the resulting peak memory (≥ lower bound, ≤ budget
+	// when feasible).
+	PeakBytes int64
+	// Feasible reports whether the budget was met.
+	Feasible bool
+}
+
+// split rewrites a program so that buf's live range becomes a set of
+// short ranges: birth→first use, then one re-birth immediately before
+// each later use.
+func split(p *memplan.Program, name string, uses []int) *memplan.Program {
+	out := &memplan.Program{Steps: p.Steps}
+	for _, b := range p.Bufs {
+		if b.Name != name || len(uses) == 0 {
+			out.Bufs = append(out.Bufs, b)
+			continue
+		}
+		sort.Ints(uses)
+		// The production itself: written, then evicted immediately.
+		prod := b
+		prod.Name = name + "@prod"
+		prod.Death = prod.Birth
+		out.Bufs = append(out.Bufs, prod)
+		// One short re-birth per use (recomputed just before it).
+		for i, u := range uses {
+			if u <= b.Birth {
+				continue
+			}
+			nb := b
+			nb.Name = fmt.Sprintf("%s@%d", name, i)
+			nb.Birth = u
+			nb.Death = u
+			out.Bufs = append(out.Bufs, nb)
+		}
+	}
+	return out
+}
+
+// peakOf computes the peak live bytes of a program.
+func peakOf(p *memplan.Program) int64 { return p.PeakLive() }
+
+// PlanBudget evicts candidates greedily until the program's peak live
+// bytes fit the budget (or no candidates remain). Benefit is estimated
+// as bytes×steps saved per unit of recompute cost.
+func PlanBudget(p *memplan.Program, budget int64, cands []Candidate) *Plan {
+	plan := &Plan{}
+	cur := p
+	plan.PeakBytes = peakOf(cur)
+	if plan.PeakBytes <= budget {
+		plan.Feasible = true
+		return plan
+	}
+	remaining := append([]Candidate(nil), cands...)
+	// Order by descending benefit density.
+	byName := map[string]memplan.Buf{}
+	for _, b := range p.Bufs {
+		byName[b.Name] = b
+	}
+	density := func(c Candidate) float64 {
+		b, ok := byName[c.Name]
+		if !ok {
+			return 0
+		}
+		lifetime := float64(b.Death - b.Birth + 1)
+		cost := c.RecomputeCost * float64(len(c.Uses))
+		if cost <= 0 {
+			cost = 1
+		}
+		return float64(b.Size) * lifetime / cost
+	}
+	sort.SliceStable(remaining, func(i, j int) bool { return density(remaining[i]) > density(remaining[j]) })
+
+	for _, c := range remaining {
+		if peakOf(cur) <= budget {
+			break
+		}
+		if len(c.Uses) < 1 {
+			continue
+		}
+		next := split(cur, c.Name, c.Uses)
+		if peakOf(next) >= peakOf(cur) {
+			continue // eviction does not help (uses span the peak anyway)
+		}
+		cur = next
+		plan.Evicted = append(plan.Evicted, c.Name)
+		plan.ExtraCompute += c.RecomputeCost * float64(len(c.Uses)-1+1)
+	}
+	plan.PeakBytes = peakOf(cur)
+	plan.Feasible = plan.PeakBytes <= budget
+	return plan
+}
+
+// LatencyFactor converts a plan's extra recompute work into a latency
+// multiplier relative to the base inference work.
+func (p *Plan) LatencyFactor(baseWork float64) float64 {
+	if baseWork <= 0 {
+		return 1
+	}
+	return 1 + p.ExtraCompute/baseWork
+}

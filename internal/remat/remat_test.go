@@ -1,0 +1,109 @@
+package remat
+
+import (
+	"testing"
+
+	"repro/internal/memplan"
+)
+
+// program: a long-lived big buffer spans a peak with other tensors.
+func testProgram() *memplan.Program {
+	return &memplan.Program{Steps: 10, Bufs: []memplan.Buf{
+		{Name: "big", Size: 1000, Birth: 0, Death: 9}, // produced early, used late
+		{Name: "mid1", Size: 800, Birth: 2, Death: 4},
+		{Name: "mid2", Size: 800, Birth: 4, Death: 6},
+		{Name: "tail", Size: 100, Birth: 8, Death: 9},
+	}}
+}
+
+func TestNoRematNeededUnderBudget(t *testing.T) {
+	p := testProgram()
+	plan := PlanBudget(p, 10000, nil)
+	if !plan.Feasible || len(plan.Evicted) != 0 || plan.ExtraCompute != 0 {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestEvictionReducesPeak(t *testing.T) {
+	p := testProgram()
+	base := p.PeakLive() // big + mid1 + mid2 overlap at step 4 = 2600
+	if base != 2600 {
+		t.Fatalf("base peak = %d", base)
+	}
+	cands := []Candidate{
+		{Name: "big", Size: 1000, RecomputeCost: 50, Uses: []int{9}},
+	}
+	plan := PlanBudget(p, 1700, cands)
+	if !plan.Feasible {
+		t.Fatalf("plan infeasible: %+v", plan)
+	}
+	if plan.PeakBytes > 1700 {
+		t.Errorf("peak = %d", plan.PeakBytes)
+	}
+	if len(plan.Evicted) != 1 || plan.Evicted[0] != "big" {
+		t.Errorf("evicted = %v", plan.Evicted)
+	}
+	if plan.ExtraCompute <= 0 {
+		t.Error("recompute work must be accounted")
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	p := testProgram()
+	plan := PlanBudget(p, 100, []Candidate{
+		{Name: "big", Size: 1000, RecomputeCost: 10, Uses: []int{9}},
+	})
+	if plan.Feasible {
+		t.Error("tiny budget should be infeasible")
+	}
+	// Peak must still not increase.
+	if plan.PeakBytes > p.PeakLive() {
+		t.Errorf("peak grew: %d > %d", plan.PeakBytes, p.PeakLive())
+	}
+}
+
+func TestUselessEvictionSkipped(t *testing.T) {
+	// A buffer whose uses coincide with the peak cannot help.
+	p := &memplan.Program{Steps: 4, Bufs: []memplan.Buf{
+		{Name: "a", Size: 500, Birth: 0, Death: 2},
+		{Name: "b", Size: 500, Birth: 1, Death: 2},
+	}}
+	plan := PlanBudget(p, 600, []Candidate{
+		{Name: "a", Size: 500, RecomputeCost: 5, Uses: []int{2}},
+	})
+	// Evicting a does not reduce the step-2 peak (both used there).
+	if plan.Feasible {
+		t.Errorf("should be infeasible: %+v", plan)
+	}
+	if plan.ExtraCompute != 0 {
+		t.Errorf("useless eviction charged: %+v", plan)
+	}
+}
+
+func TestGreedyPicksBestDensityFirst(t *testing.T) {
+	p := &memplan.Program{Steps: 10, Bufs: []memplan.Buf{
+		{Name: "cheapBig", Size: 1000, Birth: 0, Death: 9},
+		{Name: "costlySmall", Size: 200, Birth: 0, Death: 9},
+		{Name: "peak", Size: 1000, Birth: 4, Death: 6},
+	}}
+	plan := PlanBudget(p, 1300, []Candidate{
+		{Name: "costlySmall", Size: 200, RecomputeCost: 1000, Uses: []int{9}},
+		{Name: "cheapBig", Size: 1000, RecomputeCost: 1, Uses: []int{9}},
+	})
+	if !plan.Feasible {
+		t.Fatalf("infeasible: %+v", plan)
+	}
+	if len(plan.Evicted) == 0 || plan.Evicted[0] != "cheapBig" {
+		t.Errorf("evicted = %v, want cheapBig first", plan.Evicted)
+	}
+}
+
+func TestLatencyFactor(t *testing.T) {
+	plan := &Plan{ExtraCompute: 50}
+	if f := plan.LatencyFactor(100); f != 1.5 {
+		t.Errorf("factor = %f", f)
+	}
+	if f := plan.LatencyFactor(0); f != 1 {
+		t.Errorf("zero base = %f", f)
+	}
+}

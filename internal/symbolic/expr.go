@@ -1,0 +1,310 @@
+// Package symbolic implements the canonicalizing symbolic integer
+// expression engine that underlies SoD²'s Rank and Dimension Propagation
+// (RDP) analysis. Expressions are immutable and built through constructor
+// functions (Add, Mul, Div, ...) that aggressively simplify to a canonical
+// form, so two expressions that denote the same dimension (for example
+// `I*1` and `I`, or `a+b` and `b+a`) compare equal structurally. This
+// canonical equality is what lets RDP-enabled fusion decide that two
+// tensors share a shape even when that shape is not known until runtime
+// (paper §4.1–4.2).
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an immutable symbolic integer expression. Expressions are
+// constructed in canonical form, so two semantically common forms of the
+// same expression have equal String() representations.
+type Expr interface {
+	fmt.Stringer
+	// Eval evaluates the expression under the given symbol bindings.
+	// It returns an error if a free symbol has no binding or a division
+	// by zero occurs.
+	Eval(env Env) (int64, error)
+	// collectSyms adds the free symbols of the expression to set.
+	collectSyms(set map[string]struct{})
+	isExpr()
+}
+
+// Env binds symbol names to concrete integer values.
+type Env map[string]int64
+
+// Const is a known integer constant.
+type Const struct{ V int64 }
+
+// Sym is a named symbolic constant (e.g. the unknown sequence length "L").
+type Sym struct{ Name string }
+
+// add is a canonical n-ary sum: constant + sorted non-constant terms.
+type add struct {
+	c     int64
+	terms []Expr // each term is non-Const; sorted by String()
+}
+
+// mul is a canonical n-ary product: coefficient * sorted non-constant factors.
+type mul struct {
+	c       int64
+	factors []Expr // each factor is non-Const; sorted by String()
+}
+
+// div is floor division x / y.
+type div struct{ x, y Expr }
+
+// mod is x mod y with sign of the divisor-truncated result (Go semantics).
+type mod struct{ x, y Expr }
+
+// minE/maxE are canonical n-ary min/max with at most one folded constant.
+type minE struct{ args []Expr }
+type maxE struct{ args []Expr }
+
+func (Const) isExpr() {}
+func (Sym) isExpr()   {}
+func (*add) isExpr()  {}
+func (*mul) isExpr()  {}
+func (*div) isExpr()  {}
+func (*mod) isExpr()  {}
+func (*minE) isExpr() {}
+func (*maxE) isExpr() {}
+
+// NewConst returns the constant expression v.
+func NewConst(v int64) Expr { return Const{v} }
+
+// NewSym returns the symbolic constant named name.
+func NewSym(name string) Expr { return Sym{name} }
+
+// One and Zero are the most frequently used constants.
+var (
+	Zero = Const{0}
+	One  = Const{1}
+)
+
+func (c Const) String() string { return fmt.Sprintf("%d", c.V) }
+func (s Sym) String() string   { return s.Name }
+
+func (a *add) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	first := true
+	for _, t := range a.terms {
+		if !first {
+			b.WriteByte('+')
+		}
+		b.WriteString(t.String())
+		first = false
+	}
+	if a.c != 0 || first {
+		if !first {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", a.c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (m *mul) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	first := true
+	if m.c != 1 {
+		fmt.Fprintf(&b, "%d", m.c)
+		first = false
+	}
+	for _, f := range m.factors {
+		if !first {
+			b.WriteByte('*')
+		}
+		b.WriteString(f.String())
+		first = false
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (d *div) String() string { return "(" + d.x.String() + "//" + d.y.String() + ")" }
+func (m *mod) String() string { return "(" + m.x.String() + "%" + m.y.String() + ")" }
+
+func naryString(name string, args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return name + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (m *minE) String() string { return naryString("min", m.args) }
+func (m *maxE) String() string { return naryString("max", m.args) }
+
+func (c Const) Eval(Env) (int64, error) { return c.V, nil }
+
+func (s Sym) Eval(env Env) (int64, error) {
+	v, ok := env[s.Name]
+	if !ok {
+		return 0, fmt.Errorf("symbolic: unbound symbol %q", s.Name)
+	}
+	return v, nil
+}
+
+func (a *add) Eval(env Env) (int64, error) {
+	sum := a.c
+	for _, t := range a.terms {
+		v, err := t.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+func (m *mul) Eval(env Env) (int64, error) {
+	prod := m.c
+	for _, f := range m.factors {
+		v, err := f.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		prod *= v
+	}
+	return prod, nil
+}
+
+func floorDiv(x, y int64) int64 {
+	q := x / y
+	if (x%y != 0) && ((x < 0) != (y < 0)) {
+		q--
+	}
+	return q
+}
+
+func (d *div) Eval(env Env) (int64, error) {
+	x, err := d.x.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	y, err := d.y.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if y == 0 {
+		return 0, fmt.Errorf("symbolic: division by zero in %s", d)
+	}
+	return floorDiv(x, y), nil
+}
+
+func (m *mod) Eval(env Env) (int64, error) {
+	x, err := m.x.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	y, err := m.y.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if y == 0 {
+		return 0, fmt.Errorf("symbolic: modulo by zero in %s", m)
+	}
+	return x - floorDiv(x, y)*y, nil
+}
+
+func (m *minE) Eval(env Env) (int64, error) {
+	best, err := m.args[0].Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	for _, a := range m.args[1:] {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+func (m *maxE) Eval(env Env) (int64, error) {
+	best, err := m.args[0].Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	for _, a := range m.args[1:] {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+func (Const) collectSyms(map[string]struct{}) {}
+
+func (s Sym) collectSyms(set map[string]struct{}) { set[s.Name] = struct{}{} }
+
+func (a *add) collectSyms(set map[string]struct{}) {
+	for _, t := range a.terms {
+		t.collectSyms(set)
+	}
+}
+
+func (m *mul) collectSyms(set map[string]struct{}) {
+	for _, f := range m.factors {
+		f.collectSyms(set)
+	}
+}
+
+func (d *div) collectSyms(set map[string]struct{}) {
+	d.x.collectSyms(set)
+	d.y.collectSyms(set)
+}
+
+func (m *mod) collectSyms(set map[string]struct{}) {
+	m.x.collectSyms(set)
+	m.y.collectSyms(set)
+}
+
+func (m *minE) collectSyms(set map[string]struct{}) {
+	for _, a := range m.args {
+		a.collectSyms(set)
+	}
+}
+
+func (m *maxE) collectSyms(set map[string]struct{}) {
+	for _, a := range m.args {
+		a.collectSyms(set)
+	}
+}
+
+// FreeSyms returns the sorted free symbol names of e.
+func FreeSyms(e Expr) []string {
+	set := make(map[string]struct{})
+	e.collectSyms(set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsConst reports whether e is a known constant and returns its value.
+func IsConst(e Expr) (int64, bool) {
+	c, ok := e.(Const)
+	return c.V, ok
+}
+
+// Equal reports whether two canonical expressions are structurally equal
+// (and therefore denote the same value under every environment).
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}

@@ -1,0 +1,260 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		got  Expr
+		want int64
+	}{
+		{Add(NewConst(2), NewConst(3)), 5},
+		{Mul(NewConst(4), NewConst(-2)), -8},
+		{Sub(NewConst(10), NewConst(3)), 7},
+		{Div(NewConst(7), NewConst(2)), 3},
+		{Div(NewConst(-7), NewConst(2)), -4},
+		{Mod(NewConst(7), NewConst(3)), 1},
+		{Min(NewConst(3), NewConst(-1), NewConst(9)), -1},
+		{Max(NewConst(3), NewConst(-1), NewConst(9)), 9},
+		{CeilDiv(NewConst(7), NewConst(2)), 4},
+		{CeilDiv(NewConst(8), NewConst(2)), 4},
+	}
+	for _, c := range cases {
+		v, ok := IsConst(c.got)
+		if !ok {
+			t.Fatalf("%v did not fold to a constant", c.got)
+		}
+		if v != c.want {
+			t.Errorf("got %d, want %d", v, c.want)
+		}
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	x := NewSym("x")
+	y := NewSym("y")
+	cases := []struct {
+		a, b Expr
+	}{
+		{Add(x, Zero), x},
+		{Mul(x, One), x},
+		{Mul(x, Zero), Zero},
+		{Div(x, One), x},
+		{Mod(x, One), Zero},
+		{Div(x, x), One},
+		{Mod(x, x), Zero},
+		{Add(x, y), Add(y, x)},
+		{Mul(x, y), Mul(y, x)},
+		{Add(x, x), Mul(NewConst(2), x)},
+		{Sub(x, x), Zero},
+		{Mul(NewConst(2), Add(x, One)), Add(Mul(NewConst(2), x), NewConst(2))},
+		{Min(x, x), x},
+		{Max(x, y), Max(y, x)},
+		{Div(Mul(NewConst(6), x), NewConst(3)), Mul(NewConst(2), x)},
+		{Mod(Mul(NewConst(32), x), NewConst(32)), Zero},
+		{Div(Add(Mul(NewConst(4), x), NewConst(8)), NewConst(4)), Add(x, NewConst(2))},
+	}
+	for i, c := range cases {
+		if !Equal(c.a, c.b) {
+			t.Errorf("case %d: %v != %v", i, c.a, c.b)
+		}
+	}
+}
+
+func TestConvShapeArithmetic(t *testing.T) {
+	// out = (in + 2p - k)/s + 1 for in=H, k=3, p=1, s=2
+	h := NewSym("H")
+	out := Add(Div(Add(h, NewConst(2*1-3)), NewConst(2)), One)
+	v, err := out.Eval(Env{"H": 224})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 112 {
+		t.Errorf("conv output = %d, want 112", v)
+	}
+}
+
+func TestSubst(t *testing.T) {
+	x, y := NewSym("x"), NewSym("y")
+	e := Add(Mul(NewConst(2), x), y)
+	got := Subst(e, map[string]Expr{"x": NewConst(5)})
+	want := Add(NewConst(10), y)
+	if !Equal(got, want) {
+		t.Errorf("Subst = %v, want %v", got, want)
+	}
+	got2 := Subst(e, map[string]Expr{"x": y})
+	want2 := Mul(NewConst(3), y)
+	if !Equal(got2, want2) {
+		t.Errorf("Subst = %v, want %v", got2, want2)
+	}
+}
+
+func TestFreeSyms(t *testing.T) {
+	e := Min(Add(NewSym("b"), NewSym("a")), Div(NewSym("c"), NewConst(2)))
+	got := FreeSyms(e)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("FreeSyms = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("FreeSyms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	if _, err := NewSym("q").Eval(Env{}); err == nil {
+		t.Error("expected error for unbound symbol")
+	}
+}
+
+func TestDivByZeroEval(t *testing.T) {
+	e := Div(NewSym("x"), NewSym("y"))
+	if _, err := e.Eval(Env{"x": 1, "y": 0}); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}
+
+func TestCompareConst(t *testing.T) {
+	x := NewSym("x")
+	if s, ok := CompareConst(Add(x, One), x); !ok || s != 1 {
+		t.Errorf("x+1 vs x: got (%d,%v)", s, ok)
+	}
+	if s, ok := CompareConst(x, Add(x, NewConst(3))); !ok || s != -1 {
+		t.Errorf("x vs x+3: got (%d,%v)", s, ok)
+	}
+	if _, ok := CompareConst(x, NewSym("y")); ok {
+		t.Error("x vs y should be undecidable")
+	}
+	if s, ok := CompareConst(Mul(NewConst(2), x), Add(x, x)); !ok || s != 0 {
+		t.Errorf("2x vs x+x: got (%d,%v)", s, ok)
+	}
+}
+
+func TestBound(t *testing.T) {
+	h := NewSym("H")
+	e := Mul(h, h, NewConst(3)) // 3*H^2
+	lo, hi, err := Bound(e, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 12 || hi != 48 {
+		t.Errorf("Bound = [%d,%d], want [12,48]", lo, hi)
+	}
+}
+
+// randExpr builds a random expression over syms x,y,z with bounded depth.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return NewConst(int64(r.Intn(9) + 1))
+		default:
+			return NewSym([]string{"x", "y", "z"}[r.Intn(3)])
+		}
+	}
+	a := randExpr(r, depth-1)
+	b := randExpr(r, depth-1)
+	switch r.Intn(6) {
+	case 0:
+		return Add(a, b)
+	case 1:
+		return Mul(a, b)
+	case 2:
+		return Sub(a, b)
+	case 3:
+		return Div(a, b)
+	case 4:
+		return Min(a, b)
+	default:
+		return Max(a, b)
+	}
+}
+
+// TestQuickCanonicalEvalAgrees: simplification must never change the value
+// of an expression — the canonical form and a re-canonicalized substituted
+// form evaluate identically.
+func TestQuickCanonicalEvalAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(xv, yv, zv uint8) bool {
+		env := Env{"x": int64(xv%13 + 1), "y": int64(yv%13 + 1), "z": int64(zv%13 + 1)}
+		for i := 0; i < 8; i++ {
+			e := randExpr(r, 3)
+			v1, err1 := e.Eval(env)
+			// Rebuild through Subst with identity mapping: forces full
+			// re-simplification via constructors.
+			e2 := Subst(e, map[string]Expr{})
+			v2, err2 := e2.Eval(env)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 == nil && v1 != v2 {
+				t.Logf("e=%v e2=%v v1=%d v2=%d env=%v", e, e2, v1, v2, env)
+				return false
+			}
+			// Substituting the env as constants must fold to v1.
+			sub := map[string]Expr{}
+			for k, v := range env {
+				sub[k] = NewConst(v)
+			}
+			e3 := Subst(e, sub)
+			if err1 == nil {
+				if c, ok := IsConst(e3); !ok || c != v1 {
+					t.Logf("e=%v folded=%v want=%d", e, e3, v1)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddCommutes: canonical construction gives identical strings for
+// permuted operand orders.
+func TestQuickAddCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		a := randExpr(r, 2)
+		b := randExpr(r, 2)
+		c := randExpr(r, 2)
+		return Equal(Add(a, b, c), Add(c, a, b)) && Equal(Mul(a, b, c), Mul(b, c, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringStability(t *testing.T) {
+	x := NewSym("x")
+	e1 := Add(Mul(NewConst(3), x), NewConst(4))
+	e2 := Add(NewConst(4), Mul(x, NewConst(3)))
+	if e1.String() != e2.String() {
+		t.Errorf("strings differ: %q vs %q", e1, e2)
+	}
+}
+
+func TestDivCancellation(t *testing.T) {
+	l := NewSym("L")
+	// (4L) // (2L) = 2 — the pattern dynamic Reshape inference produces.
+	got := Div(Mul(NewConst(4), l), Mul(NewConst(2), l))
+	if v, ok := IsConst(got); !ok || v != 2 {
+		t.Errorf("4L//2L = %v", got)
+	}
+	// (3L) // (2L) does not divide evenly: stays symbolic.
+	if _, ok := IsConst(Div(Mul(NewConst(3), l), Mul(NewConst(2), l))); ok {
+		t.Error("3L//2L should not fold")
+	}
+	// (6*L*M) // (3*L*M) = 2.
+	m := NewSym("M")
+	got2 := Div(Mul(NewConst(6), l, m), Mul(NewConst(3), m, l))
+	if v, ok := IsConst(got2); !ok || v != 2 {
+		t.Errorf("6LM//3ML = %v", got2)
+	}
+}

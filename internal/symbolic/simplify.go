@@ -1,0 +1,397 @@
+package symbolic
+
+import "sort"
+
+// splitCoef decomposes an expression into (coefficient, symbolic part).
+// A pure constant yields (v, nil). A product with a constant coefficient
+// yields (c, remaining product). Everything else yields (1, e).
+func splitCoef(e Expr) (int64, Expr) {
+	switch v := e.(type) {
+	case Const:
+		return v.V, nil
+	case *mul:
+		if len(v.factors) == 1 {
+			return v.c, v.factors[0]
+		}
+		return v.c, &mul{c: 1, factors: v.factors}
+	default:
+		return 1, e
+	}
+}
+
+// Add returns the canonical sum of the operands: nested sums are
+// flattened, constants folded, and like terms combined (x + x → 2*x).
+func Add(xs ...Expr) Expr {
+	var c int64
+	byKey := make(map[string]int64)
+	repr := make(map[string]Expr)
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		if a, ok := e.(*add); ok {
+			c += a.c
+			for _, t := range a.terms {
+				flatten(t)
+			}
+			return
+		}
+		coef, rest := splitCoef(e)
+		if rest == nil {
+			c += coef
+			return
+		}
+		k := rest.String()
+		byKey[k] += coef
+		repr[k] = rest
+	}
+	for _, x := range xs {
+		flatten(x)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		if byKey[k] != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	terms := make([]Expr, 0, len(keys))
+	for _, k := range keys {
+		coef := byKey[k]
+		if coef == 1 {
+			terms = append(terms, repr[k])
+		} else {
+			terms = append(terms, scaleTerm(coef, repr[k]))
+		}
+	}
+	if len(terms) == 0 {
+		return Const{c}
+	}
+	if len(terms) == 1 && c == 0 {
+		return terms[0]
+	}
+	return &add{c: c, terms: terms}
+}
+
+// scaleTerm multiplies a non-constant canonical term by a constant.
+func scaleTerm(coef int64, e Expr) Expr {
+	if m, ok := e.(*mul); ok {
+		return normMul(coef*m.c, m.factors)
+	}
+	return &mul{c: coef, factors: []Expr{e}}
+}
+
+func normMul(c int64, factors []Expr) Expr {
+	if c == 0 {
+		return Zero
+	}
+	if len(factors) == 0 {
+		return Const{c}
+	}
+	if len(factors) == 1 && c == 1 {
+		return factors[0]
+	}
+	return &mul{c: c, factors: factors}
+}
+
+// Mul returns the canonical product of the operands: nested products are
+// flattened, constants folded, and factors ordered deterministically.
+func Mul(xs ...Expr) Expr {
+	c := int64(1)
+	var factors []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		switch v := e.(type) {
+		case Const:
+			c *= v.V
+		case *mul:
+			c *= v.c
+			for _, f := range v.factors {
+				flatten(f)
+			}
+		default:
+			factors = append(factors, e)
+		}
+	}
+	for _, x := range xs {
+		flatten(x)
+	}
+	if c == 0 {
+		return Zero
+	}
+	// Distribute a constant over a single-term sum so (2*(a+1)) and
+	// (2a+2) canonicalize identically when the product has no other
+	// factors.
+	if len(factors) == 1 {
+		if a, ok := factors[0].(*add); ok && c != 1 {
+			scaled := make([]Expr, 0, len(a.terms)+1)
+			for _, t := range a.terms {
+				scaled = append(scaled, scaleTerm(c, t))
+			}
+			scaled = append(scaled, Const{c * a.c})
+			return Add(scaled...)
+		}
+	}
+	sort.Slice(factors, func(i, j int) bool { return factors[i].String() < factors[j].String() })
+	return normMul(c, factors)
+}
+
+// Sub returns x - y in canonical form.
+func Sub(x, y Expr) Expr { return Add(x, scaleIfNeeded(-1, y)) }
+
+// Neg returns -x in canonical form.
+func Neg(x Expr) Expr { return scaleIfNeeded(-1, x) }
+
+func scaleIfNeeded(coef int64, e Expr) Expr {
+	if c, ok := e.(Const); ok {
+		return Const{coef * c.V}
+	}
+	return Mul(Const{coef}, e)
+}
+
+// Div returns the canonical floor division x / y.
+func Div(x, y Expr) Expr {
+	if yc, ok := y.(Const); ok {
+		if yc.V == 1 {
+			return x
+		}
+		if xc, ok := x.(Const); ok && yc.V != 0 {
+			return Const{floorDiv(xc.V, yc.V)}
+		}
+		// (c * P) / d when d divides c exactly: fold the coefficient.
+		if yc.V != 0 {
+			if m, ok := x.(*mul); ok && m.c%yc.V == 0 {
+				return normMul(m.c/yc.V, m.factors)
+			}
+			if a, ok := x.(*add); ok {
+				// (sum of terms all divisible by d + const divisible by d) / d
+				if allTermsDivisible(a, yc.V) {
+					parts := make([]Expr, 0, len(a.terms)+1)
+					for _, t := range a.terms {
+						parts = append(parts, Div(t, yc))
+					}
+					parts = append(parts, Const{a.c / yc.V})
+					return Add(parts...)
+				}
+			}
+		}
+	}
+	if xc, ok := x.(Const); ok && xc.V == 0 {
+		return Zero
+	}
+	if Equal(x, y) {
+		return One
+	}
+	// (c1 * P) / (c2 * P): identical symbolic parts cancel; fold the
+	// coefficients when they divide evenly (e.g. 4L // 2L = 2).
+	cx, px := splitCoef(x)
+	cy, py := splitCoef(y)
+	if px != nil && py != nil && Equal(px, py) && cy != 0 && cx%cy == 0 {
+		return Const{cx / cy}
+	}
+	return &div{x: x, y: y}
+}
+
+func allTermsDivisible(a *add, d int64) bool {
+	if d == 0 || a.c%d != 0 {
+		return false
+	}
+	for _, t := range a.terms {
+		coef, _ := splitCoef(t)
+		if coef%d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CeilDiv returns ceil(x/y) as floor((x + y - 1) / y).
+func CeilDiv(x, y Expr) Expr {
+	if yc, ok := y.(Const); ok && yc.V == 1 {
+		return x
+	}
+	return Div(Add(x, y, Const{-1}), y)
+}
+
+// Mod returns the canonical x mod y.
+func Mod(x, y Expr) Expr {
+	if yc, ok := y.(Const); ok {
+		if yc.V == 1 {
+			return Zero
+		}
+		if xc, ok := x.(Const); ok && yc.V != 0 {
+			return Const{xc.V - floorDiv(xc.V, yc.V)*yc.V}
+		}
+		if yc.V != 0 {
+			if m, ok := x.(*mul); ok && m.c%yc.V == 0 {
+				return Zero
+			}
+			if a, ok := x.(*add); ok && allTermsDivisible(a, yc.V) {
+				return Zero
+			}
+		}
+	}
+	if xc, ok := x.(Const); ok && xc.V == 0 {
+		return Zero
+	}
+	if Equal(x, y) {
+		return Zero
+	}
+	return &mod{x: x, y: y}
+}
+
+// Min returns the canonical minimum of the operands.
+func Min(xs ...Expr) Expr { return naryExtreme(xs, true) }
+
+// Max returns the canonical maximum of the operands.
+func Max(xs ...Expr) Expr { return naryExtreme(xs, false) }
+
+func naryExtreme(xs []Expr, isMin bool) Expr {
+	var haveConst bool
+	var cbest int64
+	seen := make(map[string]struct{})
+	var args []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		switch v := e.(type) {
+		case Const:
+			if !haveConst {
+				haveConst, cbest = true, v.V
+			} else if (isMin && v.V < cbest) || (!isMin && v.V > cbest) {
+				cbest = v.V
+			}
+		case *minE:
+			if isMin {
+				for _, a := range v.args {
+					flatten(a)
+				}
+				return
+			}
+			if _, dup := seen[e.String()]; !dup {
+				seen[e.String()] = struct{}{}
+				args = append(args, e)
+			}
+		case *maxE:
+			if !isMin {
+				for _, a := range v.args {
+					flatten(a)
+				}
+				return
+			}
+			if _, dup := seen[e.String()]; !dup {
+				seen[e.String()] = struct{}{}
+				args = append(args, e)
+			}
+		default:
+			if _, dup := seen[e.String()]; !dup {
+				seen[e.String()] = struct{}{}
+				args = append(args, e)
+			}
+		}
+	}
+	for _, x := range xs {
+		flatten(x)
+	}
+	if haveConst {
+		args = append(args, Const{cbest})
+	}
+	if len(args) == 0 {
+		panic("symbolic: min/max of zero expressions")
+	}
+	if len(args) == 1 {
+		return args[0]
+	}
+	sort.Slice(args, func(i, j int) bool { return args[i].String() < args[j].String() })
+	if isMin {
+		return &minE{args: args}
+	}
+	return &maxE{args: args}
+}
+
+// Subst replaces free symbols with the given expressions, re-simplifying.
+func Subst(e Expr, env map[string]Expr) Expr {
+	switch v := e.(type) {
+	case Const:
+		return v
+	case Sym:
+		if r, ok := env[v.Name]; ok {
+			return r
+		}
+		return v
+	case *add:
+		parts := make([]Expr, 0, len(v.terms)+1)
+		for _, t := range v.terms {
+			parts = append(parts, Subst(t, env))
+		}
+		parts = append(parts, Const{v.c})
+		return Add(parts...)
+	case *mul:
+		parts := make([]Expr, 0, len(v.factors)+1)
+		for _, f := range v.factors {
+			parts = append(parts, Subst(f, env))
+		}
+		parts = append(parts, Const{v.c})
+		return Mul(parts...)
+	case *div:
+		return Div(Subst(v.x, env), Subst(v.y, env))
+	case *mod:
+		return Mod(Subst(v.x, env), Subst(v.y, env))
+	case *minE:
+		parts := make([]Expr, len(v.args))
+		for i, a := range v.args {
+			parts[i] = Subst(a, env)
+		}
+		return Min(parts...)
+	case *maxE:
+		parts := make([]Expr, len(v.args))
+		for i, a := range v.args {
+			parts[i] = Subst(a, env)
+		}
+		return Max(parts...)
+	default:
+		return e
+	}
+}
+
+// Bound evaluates e under the assumption that every free symbol lies in
+// [lo, hi], returning a conservative [min, max] interval for e. It assumes
+// expressions are monotone in each symbol, which holds for the dimension
+// arithmetic produced by shape inference (sums/products of non-negative
+// dims, floor divisions by positive constants, min/max).
+func Bound(e Expr, lo, hi int64) (int64, int64, error) {
+	syms := FreeSyms(e)
+	loEnv := make(Env, len(syms))
+	hiEnv := make(Env, len(syms))
+	for _, s := range syms {
+		loEnv[s] = lo
+		hiEnv[s] = hi
+	}
+	a, err := e.Eval(loEnv)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := e.Eval(hiEnv)
+	if err != nil {
+		return 0, 0, err
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, nil
+}
+
+// CompareConst attempts to decide the ordering of a and b statically.
+// It returns (-1|0|+1, true) when the sign of a-b is a known constant,
+// and (0, false) otherwise.
+func CompareConst(a, b Expr) (int, bool) {
+	d := Sub(a, b)
+	if c, ok := d.(Const); ok {
+		switch {
+		case c.V < 0:
+			return -1, true
+		case c.V > 0:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}

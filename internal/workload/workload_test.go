@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+func yolo(t *testing.T) *models.Builder {
+	t.Helper()
+	b, ok := models.Get("YOLO-V6")
+	if !ok {
+		t.Fatal("YOLO-V6 missing")
+	}
+	return b
+}
+
+func TestSamplesRespectAlignment(t *testing.T) {
+	b := yolo(t)
+	for _, s := range Samples(b, 30, 1) {
+		if s.Size < b.MinSize || s.Size > b.MaxSize {
+			t.Fatalf("size %d out of range", s.Size)
+		}
+		if s.Size%b.SizeStep != 0 {
+			t.Fatalf("size %d not multiple of %d", s.Size, b.SizeStep)
+		}
+		if s.Inputs["image"] == nil {
+			t.Fatal("missing input")
+		}
+		if s.Inputs["image"].Shape[2] != s.Size {
+			t.Fatalf("input shape %v vs size %d", s.Inputs["image"].Shape, s.Size)
+		}
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	b := yolo(t)
+	a := Samples(b, 5, 42)
+	c := Samples(b, 5, 42)
+	for i := range a {
+		if a[i].Size != c[i].Size || a[i].GateBias != c[i].GateBias {
+			t.Fatal("same seed must give same samples")
+		}
+	}
+	d := Samples(b, 5, 43)
+	same := true
+	for i := range a {
+		if a[i].Size != d[i].Size {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSampleIDsUnique(t *testing.T) {
+	b := yolo(t)
+	seen := map[uint64]bool{}
+	for _, s := range Samples(b, 10, 1) {
+		if s.ID == 0 || seen[s.ID] {
+			t.Fatalf("duplicate/zero id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	b := yolo(t)
+	var prev int64 = -1
+	for _, p := range []float64{1, 25, 50, 75, 100} {
+		s := PercentileSamples(b, 1, p, 7)[0]
+		if s.Size < prev {
+			t.Fatalf("percentile %f size %d < previous %d", p, s.Size, prev)
+		}
+		prev = s.Size
+	}
+	if PercentileSamples(b, 1, 1, 7)[0].Size != b.MinSize {
+		t.Error("1st percentile should be near min")
+	}
+	if PercentileSamples(b, 1, 100, 7)[0].Size != b.MaxSize {
+		t.Error("100th percentile should be max")
+	}
+}
+
+func TestSweepIncreasing(t *testing.T) {
+	b := yolo(t)
+	sw := Sweep(b, 15, 3)
+	if len(sw) != 15 {
+		t.Fatalf("len = %d", len(sw))
+	}
+	for i := 1; i < len(sw); i++ {
+		if sw[i].Size < sw[i-1].Size {
+			t.Fatalf("sweep not non-decreasing at %d", i)
+		}
+	}
+	if sw[0].Size != b.MinSize || sw[len(sw)-1].Size != b.MaxSize {
+		t.Error("sweep should span the range")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	b := yolo(t)
+	f := Fixed(b, 3, 320, 0.7, 9)
+	for _, s := range f {
+		if s.Size != 320 || s.GateBias != 0.7 {
+			t.Fatalf("fixed sample wrong: %+v", s)
+		}
+	}
+}
+
+func TestFixedSizeModel(t *testing.T) {
+	b, _ := models.Get("DGNet")
+	for _, s := range Samples(b, 5, 1) {
+		if s.Size != 224 {
+			t.Fatalf("DGNet size %d", s.Size)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package sod2 is the public facade of this repository's reproduction of
+// "SoD²: Statically Optimizing Dynamic Deep Neural Network Execution"
+// (Niu, Agrawal, Ren — ASPLOS 2024). It exposes the complete pipeline:
+//
+//	model := sod2.BuildModel("CodeBERT")          // or assemble a Graph
+//	compiled, _ := sod2.Compile(model)            // RDP → fusion → SEP → DMP → MVC
+//	report, _ := compiled.Infer(inputs)           // execute + latency/memory report
+//
+// Underneath sit the subsystems the paper describes, each usable on its
+// own through this package:
+//
+//   - Analyze: the RDP data-flow analysis (§4.1) over a computational graph.
+//   - Fuse: RDP-enabled operator fusion (§4.2).
+//   - PlanExecution: static execution-order planning (§4.3).
+//   - PlanMemory: the peak-first dynamic memory plan (§4.4.1).
+//   - Engines: SoD² plus the four baseline framework policies used by the
+//     evaluation (ORT, MNN, TVM-Nimble, TFLite).
+//
+// The `internal/` packages carry the implementations; examples/ and
+// cmd/ demonstrate the API end to end.
+package sod2
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/exec"
+	"repro/internal/frameworks"
+	"repro/internal/fusion"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/memplan"
+	"repro/internal/models"
+	"repro/internal/plan"
+	"repro/internal/rdp"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// Re-exported core types so callers need only this package for the
+// common pipeline.
+type (
+	// Graph is the extended computational-graph IR (ONNX-style ops plus
+	// the <Switch, Combine> control-flow pair).
+	Graph = graph.Graph
+	// Node is one operator application.
+	Node = graph.Node
+	// Tensor is a dense runtime tensor.
+	Tensor = tensor.Tensor
+	// Shape is the RDP lattice shape (known/symbolic/op-inferred/⊥ dims).
+	Shape = lattice.Shape
+	// Info pairs a tensor's lattice shape and tracked value.
+	Info = lattice.Info
+	// Expr is a canonical symbolic integer expression.
+	Expr = symbolic.Expr
+	// Env binds symbolic dimensions to concrete extents.
+	Env = symbolic.Env
+	// Device is an analytic device profile (SD888/SD835, CPU/GPU).
+	Device = costmodel.Device
+	// Report is a per-inference latency/memory report.
+	Report = frameworks.Report
+	// Sample is one concrete workload input.
+	Sample = workload.Sample
+	// ModelBuilder describes one of the ten evaluation models.
+	ModelBuilder = models.Builder
+)
+
+// Device profiles used throughout the evaluation.
+var (
+	SD888CPU = costmodel.SD888CPU
+	SD888GPU = costmodel.SD888GPU
+	SD835CPU = costmodel.SD835CPU
+	SD835GPU = costmodel.SD835GPU
+)
+
+// NodeAttr is a node attribute value.
+type NodeAttr = graph.AttrValue
+
+// Attribute constructors, re-exported for graph building.
+var (
+	IntAttr    = graph.IntAttr
+	IntsAttr   = graph.IntsAttr
+	FloatAttr  = graph.FloatAttr
+	StringAttr = graph.StringAttr
+	GraphAttr  = graph.GraphAttr
+)
+
+// NewGraph creates an empty computational graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// ReadGraphJSON deserializes a graph written with Graph.WriteJSON.
+var ReadGraphJSON = graph.ReadJSON
+
+// Models lists the ten dynamic models of the evaluation (Table 5).
+func Models() []*ModelBuilder { return models.All() }
+
+// BuildModel constructs one of the named evaluation models.
+func BuildModel(name string) (*ModelBuilder, error) {
+	b, ok := models.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("sod2: unknown model %q", name)
+	}
+	return b, nil
+}
+
+// AnalyzeResult is the RDP fixed point plus reporting helpers.
+type AnalyzeResult = rdp.Result
+
+// Analyze runs Rank and Dimension Propagation over g. Overrides may pin
+// the shapes of inputs (or, per Fig. 3(b), outputs) by value name.
+func Analyze(g *Graph, overrides map[string]Shape) (*AnalyzeResult, error) {
+	return rdp.Analyze(g, overrides, rdp.Options{})
+}
+
+// FusionPlan is an operator fusion plan.
+type FusionPlan = fusion.Plan
+
+// Fuse computes RDP-enabled fusion over an analyzed graph.
+func Fuse(g *Graph, infos map[string]Info) *FusionPlan {
+	return fusion.Fuse(g, infos, fusion.RDP)
+}
+
+// ExecutionPlan is a static execution-order plan.
+type ExecutionPlan = plan.Plan
+
+// PlanExecution computes the memory-minimizing operator order (§4.3).
+func PlanExecution(g *Graph, infos map[string]Info, fp *FusionPlan) (*ExecutionPlan, error) {
+	return plan.Build(g, infos, plan.Options{Fusion: fp})
+}
+
+// MemoryPlan assigns arena offsets to intermediate tensors.
+type MemoryPlan = memplan.Plan
+
+// PlanMemory runs the peak-first planner over a liveness program derived
+// from an executed trace (§4.4.1).
+func PlanMemory(g *Graph, trace exec.Trace, internal map[string]bool) *MemoryPlan {
+	return memplan.PeakFirst(frameworks.TraceProgram(g, trace, internal))
+}
+
+// Compiled is a fully compiled model: RDP results, fusion plan,
+// execution plan, and multi-version kernel plan.
+type Compiled struct {
+	inner *frameworks.Compiled
+	eng   *frameworks.SoD2
+}
+
+// Compile runs the full SoD² pre-deployment pipeline on a model.
+func Compile(b *ModelBuilder) (*Compiled, error) {
+	c, err := frameworks.Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, nil
+}
+
+// Graph returns the compiled model's graph.
+func (c *Compiled) Graph() *Graph { return c.inner.Graph }
+
+// Analysis returns the RDP fixed point.
+func (c *Compiled) Analysis() *AnalyzeResult { return c.inner.RDPResult }
+
+// Fusion returns the RDP fusion plan.
+func (c *Compiled) Fusion() *FusionPlan { return c.inner.FusionRDP }
+
+// Execution returns the static execution plan.
+func (c *Compiled) Execution() *ExecutionPlan { return c.inner.ExecPlan }
+
+// Infer executes one set of concrete inputs on the default device
+// (Snapdragon 888 CPU) and returns outputs plus the report.
+func (c *Compiled) Infer(inputs map[string]*Tensor) (map[string]*Tensor, Report, error) {
+	return c.InferOn(inputs, SD888CPU)
+}
+
+// InferOn executes on a specific device profile.
+func (c *Compiled) InferOn(inputs map[string]*Tensor, dev Device) (map[string]*Tensor, Report, error) {
+	s := workload.Sample{Inputs: inputs}
+	res, err := c.inner.Execute(s, false, frameworks.OrderPlanned)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := c.eng.Run(c.inner, s, dev)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return res.Outputs, rep, nil
+}
+
+// InferWithArena plans the runtime memory arena for the inputs (§4.4.1:
+// symbolic shapes bound by the input dims, liveness from the planned
+// order, peak-first offsets) and executes into it. The returned arena
+// reports the exact linear-memory footprint of the inference.
+func (c *Compiled) InferWithArena(inputs map[string]*Tensor) (map[string]*Tensor, *exec.Arena, error) {
+	res, arena, err := c.inner.RunWithArena(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Outputs, arena, nil
+}
+
+// NewSample builds a workload sample for one of the evaluation models.
+func NewSample(b *ModelBuilder, size int64, gateBias float32, seed uint64) Sample {
+	return workload.Fixed(b, 1, size, gateBias, seed)[0]
+}
+
+// RunGraph executes an arbitrary graph directly (topological order, no
+// compilation) — the quickest way to evaluate a hand-built graph.
+func RunGraph(g *Graph, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	res, err := exec.Run(g, inputs, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}
+
+// Engines returns the five evaluation engines keyed by name.
+func Engines() map[string]frameworks.Engine {
+	return map[string]frameworks.Engine{
+		"SoD2":   frameworks.NewSoD2(frameworks.FullSoD2()),
+		"ORT":    frameworks.NewORT(),
+		"MNN":    frameworks.NewMNN(),
+		"TVM-N":  frameworks.NewTVMN(),
+		"TFLite": frameworks.NewTFLite(0),
+	}
+}

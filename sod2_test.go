@@ -1,0 +1,110 @@
+package sod2
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/tensor"
+)
+
+func TestFacadePipelineOnCodeBERT(t *testing.T) {
+	b, err := BuildModel("CodeBERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph() == nil || c.Analysis() == nil || c.Fusion() == nil || c.Execution() == nil {
+		t.Fatal("compiled artifacts missing")
+	}
+	s := NewSample(b, 64, 0.5, 7)
+	out, rep, err := c.Infer(s.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || rep.LatencyMS <= 0 || rep.PeakMemBytes <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestFacadeHandBuiltGraph(t *testing.T) {
+	g := NewGraph("mini")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(1, 4))
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res, err := Analyze(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fuse(g, res.Infos)
+	if fp == nil {
+		t.Fatal("no fusion plan")
+	}
+	if _, err := PlanExecution(g, res.Infos, fp); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunGraph(g, map[string]*Tensor{
+		"x": tensor.FromFloats([]int64{1, 4}, []float32{-1, 0, 1, 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"].F[0] != 0 || out["y"].F[3] != 2 {
+		t.Errorf("y = %v", out["y"].F)
+	}
+}
+
+func TestFacadeModelsAndEngines(t *testing.T) {
+	if len(Models()) != 10 {
+		t.Errorf("models = %d", len(Models()))
+	}
+	if _, err := BuildModel("NoSuchModel"); err == nil {
+		t.Error("expected error")
+	}
+	engs := Engines()
+	for _, name := range []string{"SoD2", "ORT", "MNN", "TVM-N", "TFLite"} {
+		if engs[name] == nil {
+			t.Errorf("engine %s missing", name)
+		}
+	}
+}
+
+func TestFacadeDeviceProfiles(t *testing.T) {
+	if SD888CPU.GFlops <= SD835CPU.GFlops {
+		t.Error("sd888 should outclass sd835")
+	}
+	if !SD888GPU.IsGPU || SD888CPU.IsGPU {
+		t.Error("gpu flags")
+	}
+}
+
+func TestFacadeInferWithArena(t *testing.T) {
+	b, err := BuildModel("YOLO-V6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSample(b, 256, 0.5, 61)
+	heap, _, err := c.Infer(s.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, arena, err := c.InferWithArena(s.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arena.Size <= 0 {
+		t.Fatal("empty arena")
+	}
+	for name, ref := range heap {
+		got := out[name]
+		if got == nil || !tensor.AllClose(ref, got, 1e-5) {
+			t.Fatalf("arena output %s differs", name)
+		}
+	}
+}
