@@ -173,6 +173,12 @@ func runCmd(name string, size int64, gate float32, device string) {
 	fmt.Printf("model=%s size=%d gate=%.2f device=%s\n", name, size, gate, dev.Name)
 	fmt.Printf("latency: %.3f ms   peak memory: %.2f MB\n", rep.LatencyMS,
 		float64(rep.PeakMemBytes)/(1<<20))
+	if len(rep.Degradations) > 0 {
+		fmt.Printf("fallback tier: %s\n", rep.FallbackTier)
+		for _, d := range rep.Degradations {
+			fmt.Printf("  degraded: %s\n", d.String())
+		}
+	}
 	for phase, ms := range rep.Phases {
 		fmt.Printf("  %-10s %.3f ms\n", phase, ms)
 	}

@@ -1,10 +1,31 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/tensor"
 )
+
+// Typed arena faults. All three mark plan-vs-runtime disagreements the
+// guarded executor can recover from by falling back to the dynamic
+// allocator (use errors.Is, or IsArenaFault for the whole class).
+var (
+	// ErrArenaExhausted reports a placement past the arena's optional
+	// byte budget (also returned by the fault injector's OOM mode).
+	ErrArenaExhausted = errors.New("arena budget exhausted")
+	// ErrArenaOverflow reports a placement past the arena's backing store.
+	ErrArenaOverflow = errors.New("exceeds arena")
+	// ErrArenaMisaligned reports an unaligned planned offset.
+	ErrArenaMisaligned = errors.New("misaligned arena offset")
+)
+
+// IsArenaFault reports whether err belongs to the arena fault class.
+func IsArenaFault(err error) bool {
+	return errors.Is(err, ErrArenaExhausted) ||
+		errors.Is(err, ErrArenaOverflow) ||
+		errors.Is(err, ErrArenaMisaligned)
+}
 
 // Arena is a runtime memory-allocation plan realized as one backing
 // buffer: float32 intermediates whose offsets were planned are stored at
@@ -18,6 +39,12 @@ type Arena struct {
 	Offsets map[string]int64
 	// Size is the arena's byte size.
 	Size int64
+	// Budget, when positive, caps the highest byte the arena may serve:
+	// any placement ending past it fails with ErrArenaExhausted instead
+	// of silently growing the footprint.
+	Budget int64
+	// HighWater is the highest byte actually touched by placements.
+	HighWater int64
 
 	buf []float32
 }
@@ -39,12 +66,19 @@ func (a *Arena) place(name string, t *tensor.Tensor) (*tensor.Tensor, error) {
 		return t, nil
 	}
 	n := t.Len()
-	if off%4 != 0 {
-		return nil, fmt.Errorf("exec: arena offset %d for %s not aligned", off, name)
+	if off < 0 || off%4 != 0 {
+		return nil, fmt.Errorf("exec: %s at offset %d: %w", name, off, ErrArenaMisaligned)
+	}
+	end := off + n*4
+	if a.Budget > 0 && end > a.Budget {
+		return nil, fmt.Errorf("exec: %s [%d,%d) over budget %d: %w", name, off, end, a.Budget, ErrArenaExhausted)
 	}
 	start := off / 4
 	if start+n > int64(len(a.buf)) {
-		return nil, fmt.Errorf("exec: %s [%d,%d) exceeds arena of %d floats", name, start, start+n, len(a.buf))
+		return nil, fmt.Errorf("exec: %s [%d,%d) %w of %d floats", name, start, start+n, ErrArenaOverflow, int64(len(a.buf)))
+	}
+	if end > a.HighWater {
+		a.HighWater = end
 	}
 	dst := a.buf[start : start+n]
 	copy(dst, t.F)

@@ -6,12 +6,35 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/guard"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
+
+// DefaultMaxLoopIters caps Loop trip counts when Options.MaxLoopIters
+// is unset: a runaway or corrupted trip-count tensor returns an error
+// instead of hanging the inference.
+const DefaultMaxLoopIters = 1_000_000
+
+// Hooks intercept execution at well-defined points. They exist for the
+// guarded-execution subsystem and the deterministic fault-injection
+// harness; nil hooks cost nothing. Hooks propagate into If/Loop bodies.
+type Hooks struct {
+	// PreKernel runs before each non-control-flow operator's kernel; a
+	// non-nil error aborts the inference (wrapped in *guard.OpError).
+	PreKernel func(n *graph.Node, in []*tensor.Tensor) error
+	// PostKernel runs after a kernel succeeds and may mutate the
+	// freshly produced outputs (fault injection); a non-nil error
+	// aborts the inference.
+	PostKernel func(n *graph.Node, out []*tensor.Tensor) error
+	// OnAlloc observes every intermediate-tensor allocation; a non-nil
+	// error aborts the inference (the fault injector's OOM mode).
+	OnAlloc func(name string, bytes int64) error
+}
 
 // OpEvent records one executed operator for the cost model.
 type OpEvent struct {
@@ -56,6 +79,25 @@ type Options struct {
 	// Arena, when non-nil, stores planned float32 intermediates at their
 	// assigned offsets in one backing buffer (§4.4.1's runtime plan).
 	Arena *Arena
+	// MaxLoopIters caps Loop trip counts (DefaultMaxLoopIters when 0).
+	MaxLoopIters int64
+	// Ctx, when non-nil, is checked before every operator (including
+	// inside If/Loop bodies): cancellation or deadline expiry aborts
+	// the inference with the context's error.
+	Ctx context.Context
+	// Hooks, when non-nil, intercept kernel and allocation events.
+	Hooks *Hooks
+}
+
+// subOptions derives the options an If/Loop body run inherits.
+func (o Options) subOptions() Options {
+	return Options{
+		ExecuteAllBranches: o.ExecuteAllBranches,
+		NoFree:             o.NoFree,
+		MaxLoopIters:       o.MaxLoopIters,
+		Ctx:                o.Ctx,
+		Hooks:              o.Hooks,
+	}
 }
 
 // Result bundles the outputs and the trace of one inference.
@@ -123,7 +165,10 @@ func (ex *executor) run(inputs map[string]*tensor.Tensor) (*Result, error) {
 	}
 
 	for _, n := range order {
-		if err := ex.execNode(n); err != nil {
+		if err := ex.checkCtx(n); err != nil {
+			return nil, err
+		}
+		if err := ex.safeExec(n); err != nil {
 			return nil, err
 		}
 	}
@@ -135,13 +180,83 @@ func (ex *executor) run(inputs map[string]*tensor.Tensor) (*Result, error) {
 	return ex.res, nil
 }
 
+// checkCtx aborts the inference when the per-inference context is done.
+func (ex *executor) checkCtx(n *graph.Node) error {
+	if ex.opts.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-ex.opts.Ctx.Done():
+		if n != nil {
+			return fmt.Errorf("exec: inference cancelled before node %s: %w", n.Name, ex.opts.Ctx.Err())
+		}
+		return fmt.Errorf("exec: inference cancelled: %w", ex.opts.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// safeExec contains panics at the per-node boundary, converting them
+// into structured *guard.OpError values: a buggy kernel or a malformed
+// subgraph fails the inference, never the process.
+func (ex *executor) safeExec(n *graph.Node) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &guard.OpError{Node: n.Name, Op: n.OpType,
+				Cause: fmt.Errorf("%w: %v", guard.ErrPanic, r)}
+		}
+	}()
+	return ex.execNode(n)
+}
+
+// runKernel executes a node's kernel with hook interception and
+// per-kernel panic containment. Every failure surfaces as *guard.OpError.
+func (ex *executor) runKernel(n *graph.Node, in []*tensor.Tensor) (out []*tensor.Tensor, err error) {
+	shapes := func() [][]int64 {
+		var s [][]int64
+		for _, t := range in {
+			if t != nil {
+				s = append(s, t.Shape)
+			}
+		}
+		return s
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &guard.OpError{Node: n.Name, Op: n.OpType, InputShapes: shapes(),
+				Cause: fmt.Errorf("%w: %v", guard.ErrPanic, r)}
+		}
+	}()
+	if h := ex.opts.Hooks; h != nil && h.PreKernel != nil {
+		if herr := h.PreKernel(n, in); herr != nil {
+			return nil, &guard.OpError{Node: n.Name, Op: n.OpType, InputShapes: shapes(), Cause: herr}
+		}
+	}
+	out, kerr := kernels.Run(n, in)
+	if kerr != nil {
+		return nil, &guard.OpError{Node: n.Name, Op: n.OpType, InputShapes: shapes(), Cause: kerr}
+	}
+	if h := ex.opts.Hooks; h != nil && h.PostKernel != nil {
+		if herr := h.PostKernel(n, out); herr != nil {
+			return nil, &guard.OpError{Node: n.Name, Op: n.OpType, InputShapes: shapes(), Cause: herr}
+		}
+	}
+	return out, nil
+}
+
 // account registers freshly produced intermediates and updates the peak.
-func (ex *executor) account(names []string, ts []*tensor.Tensor) {
+func (ex *executor) account(names []string, ts []*tensor.Tensor) error {
 	for i, name := range names {
 		if name == "" || i >= len(ts) || ts[i] == nil {
 			continue
 		}
 		b := ts[i].Bytes()
+		if h := ex.opts.Hooks; h != nil && h.OnAlloc != nil {
+			if err := h.OnAlloc(name, b); err != nil {
+				return fmt.Errorf("exec: alloc %s (%d bytes): %w", name, b, err)
+			}
+		}
 		ex.liveBytes += b
 		ex.res.Trace.TotalAllocBytes += b
 		ex.res.Trace.AllocCount++
@@ -149,6 +264,7 @@ func (ex *executor) account(names []string, ts []*tensor.Tensor) {
 	if ex.liveBytes > ex.res.Trace.PeakLiveBytes {
 		ex.res.Trace.PeakLiveBytes = ex.liveBytes
 	}
+	return nil
 }
 
 // release decrements uses of the node's inputs, freeing dead values.
@@ -241,7 +357,7 @@ func (ex *executor) execNode(n *graph.Node) error {
 		ex.release(n)
 		return nil
 	}
-	out, err := kernels.Run(n, in)
+	out, err := ex.runKernel(n, in)
 	if err != nil {
 		return err
 	}
@@ -269,7 +385,9 @@ func (ex *executor) execNode(n *graph.Node) error {
 		}
 	}
 	ex.emit(n, in, out, false)
-	ex.account(n.Outputs, out)
+	if err := ex.account(n.Outputs, out); err != nil {
+		return err
+	}
 	ex.release(n)
 	return nil
 }
@@ -350,7 +468,9 @@ func (ex *executor) execSwitch(n *graph.Node) error {
 		}
 	}
 	ex.emit(n, in, out, false)
-	ex.account(n.Outputs, out)
+	if err := ex.account(n.Outputs, out); err != nil {
+		return err
+	}
 	ex.release(n)
 	return nil
 }
@@ -383,7 +503,9 @@ func (ex *executor) execCombine(n *graph.Node) error {
 	out := chosen.Clone()
 	ex.values[n.Outputs[0]] = out
 	ex.emit(n, in, []*tensor.Tensor{out}, false)
-	ex.account(n.Outputs, []*tensor.Tensor{out})
+	if err := ex.account(n.Outputs, []*tensor.Tensor{out}); err != nil {
+		return err
+	}
 	ex.release(n)
 	return nil
 }
@@ -407,7 +529,7 @@ func (ex *executor) execIf(n *graph.Node) error {
 				bindings[bin.Name] = in[i+1]
 			}
 		}
-		return Run(body, bindings, Options{ExecuteAllBranches: ex.opts.ExecuteAllBranches, NoFree: ex.opts.NoFree})
+		return Run(body, bindings, ex.opts.subOptions())
 	}
 	cond := truthy(in[0])
 	var chosen *Result
@@ -452,7 +574,9 @@ func (ex *executor) execIf(n *graph.Node) error {
 		ex.values[name] = outs[i]
 	}
 	ex.emit(n, in, outs, false)
-	ex.account(n.Outputs, outs)
+	if err := ex.account(n.Outputs, outs); err != nil {
+		return err
+	}
 	ex.release(n)
 	return nil
 }
@@ -486,9 +610,19 @@ func (ex *executor) execLoop(n *graph.Node) error {
 	if in[1] != nil {
 		cond = truthy(in[1])
 	}
+	limit := ex.opts.MaxLoopIters
+	if limit <= 0 {
+		limit = DefaultMaxLoopIters
+	}
 	carried := make([]*tensor.Tensor, len(in)-2)
 	copy(carried, in[2:])
 	for iter := int64(0); iter < maxTrip && cond; iter++ {
+		if iter >= limit {
+			return fmt.Errorf("exec: Loop %s exceeded MaxLoopIters=%d (trip count %d)", n.Name, limit, maxTrip)
+		}
+		if err := ex.checkCtx(n); err != nil {
+			return err
+		}
 		bindings := map[string]*tensor.Tensor{}
 		for i, bin := range body.Inputs {
 			switch i {
@@ -502,7 +636,7 @@ func (ex *executor) execLoop(n *graph.Node) error {
 				}
 			}
 		}
-		r, err := Run(body, bindings, Options{ExecuteAllBranches: ex.opts.ExecuteAllBranches, NoFree: ex.opts.NoFree})
+		r, err := Run(body, bindings, ex.opts.subOptions())
 		if err != nil {
 			return err
 		}
@@ -523,7 +657,9 @@ func (ex *executor) execLoop(n *graph.Node) error {
 		ex.values[name] = outs[i]
 	}
 	ex.emit(n, in, outs, false)
-	ex.account(n.Outputs, outs)
+	if err := ex.account(n.Outputs, outs); err != nil {
+		return err
+	}
 	ex.release(n)
 	return nil
 }

@@ -1,0 +1,156 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// guarded executor. An Injector is configured with a mode and an
+// injection point (the k-th kernel launch, the n-th allocation) and
+// plugs into the executor through exec.Hooks; the same seed and point
+// always produce the same fault, so every chaos-suite failure is
+// replayable. One-shot semantics make graceful degradation observable:
+// after the guarded runtime falls back and retries, the fault does not
+// re-fire, and the inference must complete with correct outputs.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Mode selects what the injector corrupts.
+type Mode uint8
+
+// Injection modes.
+const (
+	// KernelError fails the k-th kernel launch with a synthetic error.
+	KernelError Mode = iota
+	// KernelPanic panics inside the k-th kernel launch (containment test).
+	KernelPanic
+	// AllocOOM fails the n-th intermediate allocation with
+	// exec.ErrArenaExhausted.
+	AllocOOM
+	// NaNCorruption overwrites one element of the k-th kernel's first
+	// output with NaN (silent-corruption test).
+	NaNCorruption
+)
+
+// String names the mode for test labels.
+func (m Mode) String() string {
+	switch m {
+	case KernelError:
+		return "kernel-error"
+	case KernelPanic:
+		return "kernel-panic"
+	case AllocOOM:
+		return "alloc-oom"
+	case NaNCorruption:
+		return "nan-corruption"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ErrInjected is the root of every synthetic fault (errors.Is-able).
+var ErrInjected = fmt.Errorf("injected fault")
+
+// Injector drives one deterministic fault through executor hooks.
+type Injector struct {
+	Mode Mode
+	// Point is the 0-based kernel launch (or allocation, for AllocOOM)
+	// index the fault fires at.
+	Point int64
+	// Repeat makes the fault persistent: it fires at Point and at every
+	// later index (a truly exhausted device, not a transient glitch), so
+	// it defeats the fallback retry too. Off by default: one-shot faults
+	// let the guarded runtime's retry succeed, which is exactly the
+	// degradation path the chaos suite exercises.
+	Repeat bool
+
+	kernels atomic.Int64
+	allocs  atomic.Int64
+	fired   atomic.Bool
+	hits    atomic.Int64
+}
+
+// New builds an injector for a mode and injection point.
+func New(mode Mode, point int64) *Injector {
+	return &Injector{Mode: mode, Point: point}
+}
+
+// Fired reports whether the fault has fired at least once.
+func (in *Injector) Fired() bool { return in.fired.Load() }
+
+// Hits counts how many times the fault fired.
+func (in *Injector) Hits() int64 { return in.hits.Load() }
+
+// Reset re-arms the injector and zeroes its counters.
+func (in *Injector) Reset() {
+	in.kernels.Store(0)
+	in.allocs.Store(0)
+	in.fired.Store(false)
+	in.hits.Store(0)
+}
+
+// arm decides whether the fault fires at the current index.
+func (in *Injector) arm(idx int64) bool {
+	if in.Point < 0 {
+		return false
+	}
+	if in.Repeat {
+		if idx < in.Point {
+			return false
+		}
+	} else if idx != in.Point || in.fired.Load() {
+		return false
+	}
+	in.fired.Store(true)
+	in.hits.Add(1)
+	return true
+}
+
+// Hooks returns the executor hooks that realize the fault. The injector
+// keeps its own counters, so the same Injector value must not be shared
+// between concurrent inferences (build one per run).
+func (in *Injector) Hooks() *exec.Hooks {
+	h := &exec.Hooks{}
+	switch in.Mode {
+	case KernelError:
+		h.PreKernel = func(n *graph.Node, _ []*tensor.Tensor) error {
+			idx := in.kernels.Add(1) - 1
+			if in.arm(idx) {
+				return fmt.Errorf("%w: kernel error at launch %d (%s %s)", ErrInjected, idx, n.OpType, n.Name)
+			}
+			return nil
+		}
+	case KernelPanic:
+		h.PreKernel = func(n *graph.Node, _ []*tensor.Tensor) error {
+			idx := in.kernels.Add(1) - 1
+			if in.arm(idx) {
+				panic(fmt.Sprintf("injected panic at launch %d (%s %s)", idx, n.OpType, n.Name))
+			}
+			return nil
+		}
+	case AllocOOM:
+		h.OnAlloc = func(name string, _ int64) error {
+			idx := in.allocs.Add(1) - 1
+			if in.arm(idx) {
+				return fmt.Errorf("%w: %w at allocation %d (%s)", ErrInjected, exec.ErrArenaExhausted, idx, name)
+			}
+			return nil
+		}
+	case NaNCorruption:
+		h.PostKernel = func(n *graph.Node, out []*tensor.Tensor) error {
+			idx := in.kernels.Add(1) - 1
+			if in.arm(idx) {
+				for _, t := range out {
+					if t != nil && t.DType == tensor.Float32 && len(t.F) > 0 {
+						t.F[len(t.F)/2] = float32(math.NaN())
+						break
+					}
+				}
+			}
+			return nil
+		}
+	}
+	return h
+}

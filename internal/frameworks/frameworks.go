@@ -18,6 +18,7 @@ import (
 	"repro/internal/fold"
 	"repro/internal/fusion"
 	"repro/internal/graph"
+	"repro/internal/guard"
 	"repro/internal/lattice"
 	"repro/internal/memplan"
 	"repro/internal/models"
@@ -33,8 +34,14 @@ type Report struct {
 	PeakMemBytes int64
 	// Phases breaks latency into named components (ms) — "infer",
 	// "reinit-sl", "reinit-st", "reinit-alloc", "shapefn", "malloc",
-	// "memplan".
+	// "memplan", "replan".
 	Phases map[string]float64
+	// FallbackTier is the tier the inference actually completed on
+	// (TierPlanned when no degradation occurred).
+	FallbackTier guard.Tier
+	// Degradations records every guarded-execution fallback taken while
+	// producing this report, in the order they fired.
+	Degradations []guard.Degradation
 }
 
 // Engine is one execution framework.
@@ -63,6 +70,8 @@ type Compiled struct {
 	NaiveOrder []*graph.Node
 
 	traceCache map[traceKey]*exec.Result
+	// contract caches the runtime contract built by Contract().
+	contract *guard.Contract
 }
 
 // OrderKind selects the execution order policy for Execute.
@@ -106,6 +115,13 @@ func (c *Compiled) Execute(s workload.Sample, allBranches bool, kind OrderKind) 
 	r, err := exec.Run(c.Graph, s.Inputs, exec.Options{Order: order, ExecuteAllBranches: allBranches})
 	if err != nil {
 		return nil, err
+	}
+	// A schedule that skips producers leaves graph outputs unproduced —
+	// catch the broken plan here instead of returning silent nils.
+	for _, o := range c.Graph.Outputs {
+		if r.Outputs[o] == nil {
+			return nil, fmt.Errorf("frameworks: %s: output %q not produced (incomplete schedule)", c.Graph.Name, o)
+		}
 	}
 	if s.ID != 0 {
 		if len(c.traceCache) > 256 {

@@ -1,0 +1,272 @@
+package frameworks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/guard"
+	"repro/internal/lattice"
+	"repro/internal/memplan"
+	"repro/internal/plan"
+	"repro/internal/rdp"
+	"repro/internal/tensor"
+)
+
+// GuardOptions configure one guarded inference.
+type GuardOptions struct {
+	// Ctx, when non-nil, bounds the inference: cancellation is honored
+	// between nodes, including inside If/Loop bodies.
+	Ctx context.Context
+	// ArenaBudget caps the arena footprint in bytes; a plan over budget
+	// degrades to the dynamic allocator instead of being executed.
+	ArenaBudget int64
+	// MaxLoopIters caps Loop trip counts (exec.DefaultMaxLoopIters if 0).
+	MaxLoopIters int64
+	// Hooks are threaded into the executor (fault injection, tracing).
+	Hooks *exec.Hooks
+	// MutatePlan, when set, edits the verified memory plan before the
+	// arena is built — a test hook for forcing offset conflicts.
+	MutatePlan func(*memplan.Plan)
+	// Strict turns degradations into errors: any contract violation
+	// fails the inference instead of falling back.
+	Strict bool
+	// SkipFiniteCheck disables the output NaN/Inf scan.
+	SkipFiniteCheck bool
+}
+
+// GuardReport describes how a guarded inference actually ran.
+type GuardReport struct {
+	// Tier the run completed on.
+	Tier guard.Tier
+	// Degradations taken, in order.
+	Degradations []guard.Degradation
+	// ReplanMS is the wall-clock cost of re-analysis + re-planning
+	// (only non-zero when Tier == TierReplan).
+	ReplanMS float64
+	// ArenaHighWater is the peak arena byte touched (planned tier only).
+	ArenaHighWater int64
+}
+
+// Contract returns the model's runtime contract: declared symbolic input
+// shapes, the RDP fixed point, and analyzed input facts (extent ranges
+// and divisibility) derived from the model's sampling spec. Built once
+// and cached on the Compiled.
+func (c *Compiled) Contract() *guard.Contract {
+	if c.contract != nil {
+		return c.contract
+	}
+	ct := guard.NewContract(c.Graph, c.Infos)
+	for _, f := range c.deriveFacts() {
+		ct.AddFact(f)
+	}
+	c.contract = ct
+	return ct
+}
+
+// deriveFacts probes the model's input generator at both ends of its
+// declared sampling range and keeps facts only for the symbols that
+// actually track the dynamic extent: a symbol bound to the probe size at
+// both ends gets a range fact [MinSize, MaxSize] and — when the model
+// samples on a stride — a divisibility fact (YOLO-v6's H % 32 == 0).
+// Symbols pinned to fixed values (SAM's prompt count) are left alone.
+func (c *Compiled) deriveFacts() []guard.Fact {
+	b := c.Builder
+	if b == nil || b.Inputs == nil || b.MinSize <= 0 || b.MaxSize < b.MinSize {
+		return nil
+	}
+	step := b.SizeStep
+	if step <= 0 {
+		step = 1
+	}
+	maxAligned := b.MinSize + ((b.MaxSize-b.MinSize)/step)*step
+	lo := c.probeEnv(b.MinSize)
+	hi := c.probeEnv(maxAligned)
+	if lo == nil || hi == nil {
+		return nil
+	}
+	var facts []guard.Fact
+	for sym, vlo := range lo {
+		vhi, ok := hi[sym]
+		if !ok || vlo != b.MinSize || vhi != maxAligned {
+			continue // symbol does not track the dynamic extent
+		}
+		facts = append(facts, guard.Fact{Symbol: sym, Kind: guard.FactRange,
+			Min: b.MinSize, Max: b.MaxSize})
+		if step > 1 {
+			facts = append(facts, guard.Fact{Symbol: sym, Kind: guard.FactDivisible,
+				Mod: step, Rem: b.MinSize % step})
+		}
+	}
+	return facts
+}
+
+// probeEnv materializes inputs at a given extent and binds them against
+// the analyzed shapes, returning the symbol environment (nil on failure).
+func (c *Compiled) probeEnv(size int64) map[string]int64 {
+	inputs := c.Builder.Inputs(tensor.NewRNG(1), size, 0.5)
+	env, err := c.bindEnv(inputs)
+	if err != nil {
+		return nil
+	}
+	return env
+}
+
+// GuardedRun executes one set of inputs under the full runtime contract:
+//
+//  1. Bind the concrete input shapes against the RDP symbolic shapes and
+//     check the analyzed facts (ranges, divisibility) and shape
+//     non-negativity.
+//  2. Statically verify the execution plan (every node once, deps
+//     respected) and the memory plan (no overlapping live ranges,
+//     within budget) for this binding.
+//  3. Execute at the highest sound tier — arena-planned, then dynamic
+//     allocation, then full re-analysis + re-planning — degrading on
+//     contract violations or arena faults rather than failing, and
+//     recording every fallback taken.
+//
+// Kernel panics surface as *guard.OpError; a nil error means the outputs
+// are complete (possibly via a degraded tier — check the GuardReport).
+func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOptions) (*exec.Result, *GuardReport, error) {
+	gr := &GuardReport{Tier: guard.TierPlanned}
+	degrade := func(reason string, kind guard.ViolationKind, to guard.Tier) {
+		gr.Degradations = append(gr.Degradations, guard.Degradation{
+			Reason: reason, Kind: kind, From: gr.Tier, To: to})
+		gr.Tier = to
+	}
+
+	// 1. Input-side contract.
+	env, cerr := c.Contract().Check(inputs)
+	if cerr != nil {
+		var ce *guard.ContractError
+		if !errors.As(cerr, &ce) {
+			return nil, gr, cerr
+		}
+		switch ce.Kind {
+		case guard.KindInput:
+			// Missing inputs / wrong dtypes cannot run on any tier.
+			return nil, gr, cerr
+		case guard.KindBind:
+			// The binding contradicts the analysis: the RDP fixed point
+			// does not describe these inputs, so re-analyze from scratch.
+			if opts.Strict {
+				return nil, gr, cerr
+			}
+			degrade(ce.Error(), ce.Kind, guard.TierReplan)
+		default:
+			// Out-of-range or misaligned extents: the symbols bound, but
+			// planned offsets are unsound. Dynamic allocation is safe.
+			if opts.Strict {
+				return nil, gr, cerr
+			}
+			degrade(ce.Error(), ce.Kind, guard.TierDynamic)
+		}
+	}
+
+	// 2. Plan-side contracts (only reached when the binding is sound).
+	order := c.ExecPlan.Order
+	var arena *exec.Arena
+	if gr.Tier == guard.TierPlanned {
+		if err := guard.VerifyExecutionPlan(c.Graph, order); err != nil {
+			if opts.Strict {
+				return nil, gr, err
+			}
+			degrade(err.Error(), guard.KindExecPlan, guard.TierReplan)
+		}
+	}
+	if gr.Tier == guard.TierPlanned {
+		pl, prog := memProgram(c.Graph, order, c.Infos, env)
+		if opts.MutatePlan != nil {
+			opts.MutatePlan(pl)
+		}
+		verr := guard.VerifyMemoryPlan(pl, prog)
+		if verr == nil && opts.ArenaBudget > 0 && pl.ArenaSize > opts.ArenaBudget {
+			verr = &guard.ContractError{Kind: guard.KindBudget,
+				Detail: fmt.Sprintf("planned arena %d bytes exceeds budget %d", pl.ArenaSize, opts.ArenaBudget)}
+		}
+		if verr != nil {
+			if opts.Strict {
+				return nil, gr, verr
+			}
+			var ce *guard.ContractError
+			kind := guard.KindMemPlan
+			if errors.As(verr, &ce) {
+				kind = ce.Kind
+			}
+			degrade(verr.Error(), kind, guard.TierDynamic)
+		} else {
+			arena = exec.NewArena(pl.Offsets, pl.ArenaSize)
+			arena.Budget = opts.ArenaBudget
+		}
+	}
+
+	execOpts := exec.Options{
+		Order:        order,
+		Arena:        arena,
+		Ctx:          opts.Ctx,
+		MaxLoopIters: opts.MaxLoopIters,
+		Hooks:        opts.Hooks,
+	}
+
+	// 3. Re-plan tier: re-analyze under the concrete input shapes and
+	// rebuild the execution order (MNN-style re-initialization).
+	if gr.Tier == guard.TierReplan {
+		newOrder, ms, err := c.replan(inputs)
+		if err != nil {
+			return nil, gr, fmt.Errorf("frameworks: re-plan failed: %w", err)
+		}
+		gr.ReplanMS = ms
+		if len(gr.Degradations) > 0 {
+			gr.Degradations[len(gr.Degradations)-1].ReplanMS = ms
+		}
+		execOpts.Order = newOrder
+		execOpts.Arena = nil
+	}
+
+	res, err := exec.Run(c.Graph, inputs, execOpts)
+	if err != nil && gr.Tier == guard.TierPlanned && exec.IsArenaFault(err) && !opts.Strict {
+		// The plan disagreed with runtime reality (injected OOM, stale
+		// offsets). The dynamic allocator is immune: retry without the
+		// arena.
+		degrade(err.Error(), guard.KindMemPlan, guard.TierDynamic)
+		execOpts.Arena = nil
+		res, err = exec.Run(c.Graph, inputs, execOpts)
+	}
+	if err != nil {
+		return nil, gr, err
+	}
+	if execOpts.Arena != nil {
+		gr.ArenaHighWater = execOpts.Arena.HighWater
+	}
+	if !opts.SkipFiniteCheck {
+		if ferr := guard.CheckFinite(res.Outputs); ferr != nil {
+			return nil, gr, ferr
+		}
+	}
+	return res, gr, nil
+}
+
+// replan re-analyzes the graph with every input shape pinned to its
+// concrete dims and rebuilds the execution plan, returning the new order
+// and the wall-clock cost in milliseconds.
+func (c *Compiled) replan(inputs map[string]*tensor.Tensor) ([]*graph.Node, float64, error) {
+	start := time.Now()
+	overrides := map[string]lattice.Shape{}
+	for _, in := range c.Graph.Inputs {
+		if t := inputs[in.Name]; t != nil {
+			overrides[in.Name] = lattice.FromInts(t.Shape...)
+		}
+	}
+	res, err := rdp.Analyze(c.Graph, overrides, rdp.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := plan.Build(c.Graph, res.Infos, plan.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.Order, float64(time.Since(start).Microseconds()) / 1000, nil
+}

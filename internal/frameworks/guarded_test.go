@@ -1,0 +1,253 @@
+package frameworks
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/guard"
+	"repro/internal/lattice"
+	"repro/internal/memplan"
+	"repro/internal/models"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func compileModel(t *testing.T, name string) *Compiled {
+	t.Helper()
+	b, ok := models.Get(name)
+	if !ok {
+		t.Fatalf("model %s not registered", name)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return c
+}
+
+func TestContractFactsDerived(t *testing.T) {
+	yolo := compileModel(t, "YOLO-V6")
+	facts := yolo.Contract().Facts
+	var haveRange, haveDiv bool
+	for _, f := range facts {
+		if f.Kind == guard.FactRange && f.Min == 224 && f.Max == 640 {
+			haveRange = true
+		}
+		if f.Kind == guard.FactDivisible && f.Mod == 32 && f.Rem == 0 {
+			haveDiv = true
+		}
+	}
+	if !haveRange || !haveDiv {
+		t.Errorf("YOLO facts missing range/divisibility: %v", facts)
+	}
+
+	bert := compileModel(t, "CodeBERT")
+	for _, f := range bert.Contract().Facts {
+		if f.Kind == guard.FactDivisible {
+			t.Errorf("CodeBERT (step 1) should have no divisibility fact: %v", f)
+		}
+		if f.Kind == guard.FactRange && (f.Min != 32 || f.Max != 384) {
+			t.Errorf("CodeBERT range fact = %v", f)
+		}
+	}
+}
+
+func TestStrictContractRejectsMisalignedYOLO(t *testing.T) {
+	c := compileModel(t, "YOLO-V6")
+	inputs := c.Builder.Inputs(tensor.NewRNG(7), 225, 0.5) // 225 % 32 != 0
+	_, _, err := c.GuardedRun(inputs, GuardOptions{Strict: true})
+	var ce *guard.ContractError
+	if !errors.As(err, &ce) || ce.Kind != guard.KindFact {
+		t.Fatalf("want fact violation, got %v", err)
+	}
+	if !errors.Is(err, guard.ErrContract) {
+		t.Error("violation should match ErrContract")
+	}
+	// The error names the symbol and quotes the analyzed fact.
+	if ce.Symbol == "" || !strings.Contains(err.Error(), "% 32 == 0") {
+		t.Errorf("error should name symbol and fact: %v", err)
+	}
+}
+
+func TestGuardedRunPlannedTier(t *testing.T) {
+	c := compileModel(t, "YOLO-V6")
+	inputs := c.Builder.Inputs(tensor.NewRNG(7), 256, 0.5)
+	res, gr, err := c.GuardedRun(inputs, GuardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Tier != guard.TierPlanned || len(gr.Degradations) != 0 {
+		t.Errorf("aligned input should stay planned: %+v", gr)
+	}
+	if gr.ArenaHighWater <= 0 {
+		t.Errorf("planned tier should touch the arena, high water = %d", gr.ArenaHighWater)
+	}
+	if len(res.Outputs) == 0 {
+		t.Error("no outputs")
+	}
+}
+
+// The degradation table: every row must complete through a fallback tier
+// with the degradation recorded, and produce outputs identical to the
+// unguarded, unplanned reference execution.
+func TestDegradationPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		model    string
+		size     int64
+		opts     GuardOptions
+		wantTier guard.Tier
+		wantKind guard.ViolationKind
+	}{
+		{
+			name:  "misaligned extent falls back to dynamic",
+			model: "YOLO-V6", size: 225,
+			wantTier: guard.TierDynamic, wantKind: guard.KindFact,
+		},
+		{
+			name:  "out-of-range extent falls back to dynamic",
+			model: "YOLO-V6", size: 672,
+			wantTier: guard.TierDynamic, wantKind: guard.KindFact,
+		},
+		{
+			name:  "below-range extent falls back to dynamic",
+			model: "CodeBERT", size: 16,
+			wantTier: guard.TierDynamic, wantKind: guard.KindFact,
+		},
+		{
+			name:  "forced arena offset conflict falls back to dynamic",
+			model: "YOLO-V6", size: 256,
+			opts: GuardOptions{MutatePlan: func(pl *memplan.Plan) {
+				for name := range pl.Offsets {
+					pl.Offsets[name] = 0 // everyone at offset 0: guaranteed overlap
+				}
+			}},
+			wantTier: guard.TierDynamic, wantKind: guard.KindMemPlan,
+		},
+		{
+			name:  "arena over budget falls back to dynamic",
+			model: "YOLO-V6", size: 256,
+			opts:     GuardOptions{ArenaBudget: 64},
+			wantTier: guard.TierDynamic, wantKind: guard.KindBudget,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := compileModel(t, tc.model)
+			inputs := c.Builder.Inputs(tensor.NewRNG(7), tc.size, 0.5)
+			res, gr, err := c.GuardedRun(inputs, tc.opts)
+			if err != nil {
+				t.Fatalf("degraded run should complete: %v", err)
+			}
+			if gr.Tier != tc.wantTier {
+				t.Errorf("tier = %v, want %v (%+v)", gr.Tier, tc.wantTier, gr.Degradations)
+			}
+			if len(gr.Degradations) == 0 {
+				t.Fatal("no degradation recorded")
+			}
+			d := gr.Degradations[0]
+			if d.Kind != tc.wantKind || d.To != tc.wantTier {
+				t.Errorf("degradation = %+v, want kind %v to %v", d, tc.wantKind, tc.wantTier)
+			}
+
+			// Degraded outputs must match the plain unplanned execution.
+			ref, err := exec.Run(c.Graph, inputs, exec.Options{})
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			for name, want := range ref.Outputs {
+				got := res.Outputs[name]
+				if got == nil || !tensor.AllClose(got, want, 1e-5) {
+					t.Errorf("output %q diverges from reference", name)
+				}
+			}
+		})
+	}
+}
+
+// A binding that contradicts the RDP fixed point (not merely out of
+// range) triggers the re-plan tier: re-analysis under the concrete
+// shapes, a fresh execution plan, and the wall-clock cost on record.
+func TestReplanTierOnBindViolation(t *testing.T) {
+	b := &models.Builder{
+		Name: "toy-fixed", MinSize: 4, MaxSize: 4, SizeStep: 1,
+		Build: func() *graph.Graph {
+			g := graph.New("toy")
+			g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+			g.Op("Relu", "r", []string{"x"}, []string{"h"}, nil)
+			g.Op("Neg", "n", []string{"h"}, []string{"y"}, nil)
+			g.AddOutput("y")
+			return g
+		},
+		Inputs: func(rng *tensor.RNG, size int64, _ float32) map[string]*tensor.Tensor {
+			t := tensor.New(tensor.Float32, size)
+			for i := range t.F {
+				t.F[i] = rng.NormFloat32()
+			}
+			return map[string]*tensor.Tensor{"x": t}
+		},
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 elements against a shape analyzed as exactly 4: contradiction.
+	inputs := map[string]*tensor.Tensor{"x": tensor.FromFloats([]int64{8}, []float32{1, -2, 3, -4, 5, -6, 7, -8})}
+	res, gr, err := c.GuardedRun(inputs, GuardOptions{})
+	if err != nil {
+		t.Fatalf("replan should complete: %v", err)
+	}
+	if gr.Tier != guard.TierReplan {
+		t.Fatalf("tier = %v, want replan (%+v)", gr.Tier, gr.Degradations)
+	}
+	if gr.ReplanMS <= 0 {
+		t.Error("replan cost not measured")
+	}
+	if len(gr.Degradations) == 0 || gr.Degradations[0].Kind != guard.KindBind {
+		t.Errorf("degradations = %+v", gr.Degradations)
+	}
+	want := []float32{-1, 0, -3, 0, -5, 0, -7, 0}
+	got := res.Outputs["y"]
+	if got == nil || !tensor.AllClose(got, tensor.FromFloats([]int64{8}, want), 1e-6) {
+		t.Errorf("replanned output = %v", got)
+	}
+}
+
+func TestGuardedRunHonorsContext(t *testing.T) {
+	c := compileModel(t, "CodeBERT")
+	inputs := c.Builder.Inputs(tensor.NewRNG(7), 64, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GuardedRun(inputs, GuardOptions{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestEngineFallsBackToTopoOrder(t *testing.T) {
+	c := compileModel(t, "CodeBERT")
+	// Corrupt the planned order: reverse it so the first scheduled node
+	// consumes values that have not been produced yet.
+	good := c.ExecPlan.Order
+	bad := make([]*graph.Node, len(good))
+	for i, n := range good {
+		bad[len(good)-1-i] = n
+	}
+	c.ExecPlan.Order = bad
+	defer func() { c.ExecPlan.Order = good }()
+
+	eng := NewSoD2(FullSoD2())
+	s := workload.Fixed(c.Builder, 1, 64, 0.5, 7)[0]
+	rep, err := eng.Run(c, s, costmodel.SD888CPU)
+	if err != nil {
+		t.Fatalf("engine should fall back to declaration order: %v", err)
+	}
+	if rep.FallbackTier != guard.TierReplan || len(rep.Degradations) == 0 {
+		t.Errorf("fallback not recorded: tier=%v degradations=%v", rep.FallbackTier, rep.Degradations)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/graph"
 	"repro/internal/lattice"
 	"repro/internal/memplan"
 	"repro/internal/rdp"
@@ -19,6 +20,20 @@ import (
 // offsets in one arena. Values RDP could not resolve (⊥ shapes,
 // control-flow merges) fall back to dynamic allocation at run time.
 func (c *Compiled) PlanArena(inputs map[string]*tensor.Tensor) (*exec.Arena, error) {
+	env, err := c.bindEnv(inputs)
+	if err != nil {
+		return nil, err
+	}
+	plan, prog := memProgram(c.Graph, c.ExecPlan.Order, c.Infos, env)
+	if err := plan.Validate(prog); err != nil {
+		return nil, err
+	}
+	return exec.NewArena(plan.Offsets, plan.ArenaSize), nil
+}
+
+// bindEnv binds the concrete input dims against the analyzed symbolic
+// input shapes.
+func (c *Compiled) bindEnv(inputs map[string]*tensor.Tensor) (symbolic.Env, error) {
 	env := symbolic.Env{}
 	for _, in := range c.Graph.Inputs {
 		t := inputs[in.Name]
@@ -29,28 +44,33 @@ func (c *Compiled) PlanArena(inputs map[string]*tensor.Tensor) (*exec.Arena, err
 			return nil, err
 		}
 	}
+	return env, nil
+}
 
+// memProgram derives the liveness program for an execution order under a
+// bound symbol environment and runs the peak-first planner over it.
+func memProgram(g *graph.Graph, order []*graph.Node, infos map[string]lattice.Info, env symbolic.Env) (*memplan.Plan, *memplan.Program) {
 	keep := map[string]bool{}
-	for _, o := range c.Graph.Outputs {
+	for _, o := range g.Outputs {
 		keep[o] = true
 	}
 	var steps []memplan.StepSpec
-	for _, n := range c.ExecPlan.Order {
+	for _, n := range order {
 		var st memplan.StepSpec
 		if !isControlFlow(n.OpType) {
 			for _, o := range n.Outputs {
 				if o == "" {
 					continue
 				}
-				size := evalBytes(c.Infos[o].Shape, env)
+				size := evalBytes(infos[o].Shape, env)
 				if size > 0 {
 					st.Produces = append(st.Produces, memplan.NamedSize{Name: o, Size: size})
 				}
 			}
 		}
 		for _, in := range n.Inputs {
-			if in != "" && !c.Graph.IsGraphInput(in) {
-				if _, isConst := c.Graph.Initializers[in]; !isConst {
+			if in != "" && !g.IsGraphInput(in) {
+				if _, isConst := g.Initializers[in]; !isConst {
 					st.Consumes = append(st.Consumes, in)
 				}
 			}
@@ -58,11 +78,7 @@ func (c *Compiled) PlanArena(inputs map[string]*tensor.Tensor) (*exec.Arena, err
 		steps = append(steps, st)
 	}
 	prog := memplan.FromSteps(steps, keep)
-	plan := memplan.PeakFirst(prog)
-	if err := plan.Validate(prog); err != nil {
-		return nil, err
-	}
-	return exec.NewArena(plan.Offsets, plan.ArenaSize), nil
+	return memplan.PeakFirst(prog), prog
 }
 
 // RunWithArena plans the arena for the inputs and executes into it.

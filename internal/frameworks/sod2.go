@@ -4,6 +4,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/guard"
 	"repro/internal/memplan"
 	"repro/internal/workload"
 )
@@ -73,6 +74,22 @@ func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 		kind = OrderPlanned
 	}
 	res, err := m.Execute(sample, s.Opts.ExecuteAllBranches, kind)
+	var degradations []guard.Degradation
+	fallbackTier := guard.TierPlanned
+	if err != nil && kind == OrderPlanned {
+		// The planned schedule failed (a corrupted or stale plan): fall
+		// back to declaration order, which is always a valid schedule,
+		// and record the degradation rather than failing the inference.
+		res, err = m.Execute(sample, s.Opts.ExecuteAllBranches, OrderTopo)
+		if err == nil {
+			fallbackTier = guard.TierReplan
+			degradations = append(degradations, guard.Degradation{
+				Reason: "planned order failed; re-ran in declaration order",
+				Kind:   guard.KindExecPlan,
+				From:   guard.TierPlanned, To: guard.TierReplan,
+			})
+		}
+	}
 	if err != nil {
 		return Report{}, err
 	}
@@ -159,5 +176,6 @@ func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 	for _, v := range phases {
 		total += v
 	}
-	return Report{LatencyMS: total, PeakMemBytes: peak, Phases: phases}, nil
+	return Report{LatencyMS: total, PeakMemBytes: peak, Phases: phases,
+		FallbackTier: fallbackTier, Degradations: degradations}, nil
 }

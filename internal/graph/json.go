@@ -113,6 +113,9 @@ func shapeFromJSON(dims []string, kind string) (lattice.Shape, error) {
 		default:
 			var v int64
 			if _, err := fmt.Sscanf(ds, "%d", &v); err == nil && fmt.Sprintf("%d", v) == ds {
+				if v < 0 {
+					return lattice.Shape{}, fmt.Errorf("graph: negative dim %d in shape", v)
+				}
 				out[i] = lattice.FromInt(v)
 			} else {
 				// Symbolic or compound: round-trip as a symbol. Simple
@@ -130,13 +133,35 @@ func tensorToJSON(t *tensor.Tensor) jsonTensor {
 	return jsonTensor{DType: dtypeName(t.DType), Shape: t.Shape, F: t.F, I: t.I, B: t.B}
 }
 
+// maxTensorElems bounds deserialized tensor sizes; combined with the
+// per-dim checks it makes the element-count arithmetic overflow-safe.
+const maxTensorElems = int64(1) << 40
+
+// checkedNumElems multiplies the dims rejecting negatives and overflow.
+func checkedNumElems(shape []int64) (int64, error) {
+	n := int64(1)
+	for _, d := range shape {
+		if d < 0 {
+			return 0, fmt.Errorf("graph: negative dim %d in tensor shape %v", d, shape)
+		}
+		if d > 0 && n > maxTensorElems/d {
+			return 0, fmt.Errorf("graph: tensor shape %v overflows element count", shape)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 func tensorFromJSON(j jsonTensor) (*tensor.Tensor, error) {
 	dt, err := dtypeFromName(j.DType)
 	if err != nil {
 		return nil, err
 	}
 	t := &tensor.Tensor{DType: dt, Shape: j.Shape, F: j.F, I: j.I, B: j.B}
-	want := tensor.NumElems(j.Shape)
+	want, err := checkedNumElems(j.Shape)
+	if err != nil {
+		return nil, err
+	}
 	var got int64
 	switch dt {
 	case tensor.Float32:
@@ -194,9 +219,21 @@ func (g *Graph) toJSON() *jsonGraph {
 	return j
 }
 
+// maxSubgraphDepth bounds attribute-graph nesting: deeper documents are
+// rejected instead of recursing toward a stack overflow.
+const maxSubgraphDepth = 64
+
 func graphFromJSON(j *jsonGraph) (*Graph, error) {
+	return graphFromJSONDepth(j, 0)
+}
+
+func graphFromJSONDepth(j *jsonGraph, depth int) (*Graph, error) {
+	if depth > maxSubgraphDepth {
+		return nil, fmt.Errorf("graph: subgraph nesting exceeds %d levels", maxSubgraphDepth)
+	}
 	g := New(j.Name)
 	g.Outputs = j.Outputs
+	seenNodes := make(map[string]bool, len(j.Nodes))
 	for _, in := range j.Inputs {
 		dt, err := dtypeFromName(in.DType)
 		if err != nil {
@@ -216,6 +253,12 @@ func graphFromJSON(j *jsonGraph) (*Graph, error) {
 		g.AddInitializer(name, t)
 	}
 	for _, jn := range j.Nodes {
+		if jn.Name != "" {
+			if seenNodes[jn.Name] {
+				return nil, fmt.Errorf("graph: duplicate node name %q", jn.Name)
+			}
+			seenNodes[jn.Name] = true
+		}
 		attrs := map[string]AttrValue{}
 		for k, ja := range jn.Attrs {
 			switch ja.Kind {
@@ -229,7 +272,7 @@ func graphFromJSON(j *jsonGraph) (*Graph, error) {
 				attrs[k] = StringAttr(ja.S)
 			case "graph":
 				if ja.G != nil {
-					sub, err := graphFromJSON(ja.G)
+					sub, err := graphFromJSONDepth(ja.G, depth+1)
 					if err != nil {
 						return nil, fmt.Errorf("node %s attr %s: %w", jn.Name, k, err)
 					}
@@ -251,7 +294,9 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	return enc.Encode(g.toJSON())
 }
 
-// ReadJSON deserializes a graph written by WriteJSON and validates it.
+// ReadJSON deserializes a graph written by WriteJSON and validates it —
+// including every nested subgraph, so a malformed Loop body is rejected
+// at the model boundary rather than at execution time.
 func ReadJSON(r io.Reader) (*Graph, error) {
 	var j jsonGraph
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
@@ -261,8 +306,26 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := g.Validate(); err != nil {
+	if err := validateDeep(g); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// validateDeep validates a graph and, recursively, every attribute
+// subgraph. Nesting depth is already bounded by graphFromJSONDepth.
+func validateDeep(g *Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		for name, a := range n.Attrs {
+			if a.Kind == AttrGraph && a.G != nil {
+				if err := validateDeep(a.G); err != nil {
+					return fmt.Errorf("node %s subgraph %s: %w", n.Name, name, err)
+				}
+			}
+		}
+	}
+	return nil
 }

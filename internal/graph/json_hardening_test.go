@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/tensor"
+)
+
+// sampleJSON serializes a small valid graph with a nested subgraph —
+// the well-formed baseline the hardening tests corrupt.
+func sampleJSON(t testing.TB) []byte {
+	body := New("body")
+	body.AddInput("bx", tensor.Float32, lattice.FromInts(2))
+	body.Op("Relu", "br", []string{"bx"}, []string{"by"}, nil)
+	body.AddOutput("by")
+
+	g := New("sample")
+	g.AddInput("p", tensor.Bool, lattice.FromInts())
+	g.AddInput("x", tensor.Float32, lattice.Ranked(lattice.FromSym("N")))
+	g.AddInitializer("w", tensor.FromFloats([]int64{2}, []float32{1, 2}))
+	g.Op("Add", "add", []string{"x", "w"}, []string{"s"}, nil)
+	g.Op("If", "iff", []string{"p", "s"}, []string{"y"}, map[string]AttrValue{
+		"then_branch": GraphAttr(body.Clone()),
+		"else_branch": GraphAttr(body.Clone()),
+	})
+	g.AddOutput("y")
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("serialize sample: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{
+			name: "negative input dim",
+			doc: `{"name":"g","inputs":[{"name":"x","dtype":"float32","shape":["-3"],"kind":"ranked"}],
+			       "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}]}`,
+			wantErr: "negative dim",
+		},
+		{
+			name: "negative initializer dim",
+			doc: `{"name":"g","inputs":[{"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			       "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}],
+			       "initializers":{"w":{"dtype":"float32","shape":[-2],"f":[1,2]}}}`,
+			wantErr: "negative dim",
+		},
+		{
+			name: "overflowing initializer shape",
+			doc: `{"name":"g","inputs":[{"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			       "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}],
+			       "initializers":{"w":{"dtype":"float32","shape":[4611686018427387904,4611686018427387904],"f":[]}}}`,
+			wantErr: "overflows",
+		},
+		{
+			name: "short initializer payload",
+			doc: `{"name":"g","inputs":[{"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			       "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}],
+			       "initializers":{"w":{"dtype":"float32","shape":[4],"f":[1]}}}`,
+			wantErr: "payload",
+		},
+		{
+			name: "duplicate node names",
+			doc: `{"name":"g","inputs":[{"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			       "outputs":["z"],"nodes":[
+			         {"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]},
+			         {"name":"r","op":"Relu","inputs":["y"],"outputs":["z"]}]}`,
+			wantErr: "duplicate node name",
+		},
+		{
+			name: "unknown dtype",
+			doc: `{"name":"g","inputs":[{"name":"x","dtype":"complex128","shape":["2"],"kind":"ranked"}],
+			       "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}]}`,
+			wantErr: "unknown dtype",
+		},
+		{
+			name: "invalid nested subgraph",
+			doc: `{"name":"g","inputs":[{"name":"p","dtype":"bool","shape":[],"kind":"ranked"},
+			         {"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			       "outputs":["y"],"nodes":[{"name":"iff","op":"If","inputs":["p","x"],"outputs":["y"],
+			         "attrs":{"then_branch":{"kind":"graph","g":
+			           {"name":"b","inputs":[{"name":"bx","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			            "outputs":["missing"],"nodes":[]}},
+			          "else_branch":{"kind":"graph","g":
+			           {"name":"b","inputs":[{"name":"bx","dtype":"float32","shape":["2"],"kind":"ranked"}],
+			            "outputs":["missing"],"nodes":[]}}}}]}`,
+			wantErr: "subgraph",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatal("malformed document accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadJSONRejectsDeepNesting(t *testing.T) {
+	// Build a document nested past the depth cap by wrapping subgraphs.
+	inner := `{"name":"leaf","inputs":[{"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+	  "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}]}`
+	doc := inner
+	for i := 0; i < maxSubgraphDepth+2; i++ {
+		doc = `{"name":"w","inputs":[{"name":"x","dtype":"float32","shape":["2"],"kind":"ranked"}],
+		  "outputs":["y"],"nodes":[{"name":"iff","op":"If","inputs":["x","x"],"outputs":["y"],
+		    "attrs":{"then_branch":{"kind":"graph","g":` + doc + `},
+		             "else_branch":{"kind":"graph","g":` + inner + `}}}]}`
+	}
+	_, err := ReadJSON(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Fatalf("want depth error, got %v", err)
+	}
+}
+
+func TestReadJSONRoundTripStillWorks(t *testing.T) {
+	g, err := ReadJSON(bytes.NewReader(sampleJSON(t)))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if len(g.Nodes) != 2 || g.Nodes[1].AttrGraph("then_branch") == nil {
+		t.Errorf("round trip lost structure")
+	}
+}
+
+// FuzzGraphJSON asserts the parser's total-function contract: arbitrary
+// bytes never panic, and any accepted graph must survive a serialize →
+// re-read round trip.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add(sampleJSON(f))
+	f.Add([]byte(`{"name":"g","inputs":[{"name":"x","dtype":"float32","shape":["N"],"kind":"ranked"}],
+	  "outputs":["y"],"nodes":[{"name":"r","op":"Relu","inputs":["x"],"outputs":["y"]}]}`))
+	f.Add([]byte(`{"name":"g","inputs":null,"outputs":null,"nodes":null}`))
+	f.Add([]byte(`{"name":"g","initializers":{"w":{"dtype":"int64","shape":[1],"i":[9]}},
+	  "inputs":[],"outputs":["w"],"nodes":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"nodes":[{"attrs":{"a":{"kind":"graph"}}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("round trip of accepted graph rejected: %v", err)
+		}
+	})
+}

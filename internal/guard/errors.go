@@ -1,0 +1,171 @@
+// Package guard implements SoD²'s guarded-execution subsystem: runtime
+// contract checking of the statically derived plans (RDP shape facts,
+// execution orders, memory-plan offsets), a structured error taxonomy
+// for kernel failures and contract violations, and the degradation
+// records the tiered fallback path (planned → dynamic → re-plan) leaves
+// behind. The premise of the paper is that the runtime commits to
+// offline plans; the premise of this package is that it must *verify*
+// those plans against the actual input before committing, and degrade
+// like the baselines (MNN re-initialization, Nimble shape functions)
+// instead of crashing when an assumption does not hold.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPanic marks an error produced by containing a runtime panic at an
+// operator boundary (use errors.Is to test).
+var ErrPanic = errors.New("guard: contained panic")
+
+// ErrContract is the class of all contract violations (use errors.Is).
+var ErrContract = errors.New("guard: contract violation")
+
+// OpError wraps a failure (error or contained panic) of one operator
+// execution with enough structure for callers to triage it without
+// string matching.
+type OpError struct {
+	// Node is the failing node's name; Op its operator type.
+	Node string
+	Op   string
+	// InputShapes are the shapes of the inputs that were present when
+	// the operator failed (nil when the failure preceded input binding).
+	InputShapes [][]int64
+	// Cause is the underlying error; for contained panics it wraps
+	// ErrPanic.
+	Cause error
+}
+
+// Error renders the failure with its input shapes.
+func (e *OpError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "op %s(%s)", e.Op, e.Node)
+	if len(e.InputShapes) > 0 {
+		fmt.Fprintf(&b, " inputs=%v", e.InputShapes)
+	}
+	fmt.Fprintf(&b, ": %v", e.Cause)
+	return b.String()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *OpError) Unwrap() error { return e.Cause }
+
+// ViolationKind classifies contract violations.
+type ViolationKind string
+
+// Violation kinds.
+const (
+	// KindInput: a required input is missing or has the wrong dtype.
+	KindInput ViolationKind = "input"
+	// KindBind: a concrete input shape contradicts the RDP symbolic
+	// shape (rank mismatch, constant-dim mismatch, inconsistent symbol).
+	KindBind ViolationKind = "bind"
+	// KindFact: a bound symbol violates an analyzed fact (range or
+	// divisibility).
+	KindFact ViolationKind = "fact"
+	// KindShape: an RDP-derived intermediate shape evaluates to a
+	// negative or undefined extent under the bound symbols.
+	KindShape ViolationKind = "shape"
+	// KindExecPlan: the static execution plan is not a valid schedule.
+	KindExecPlan ViolationKind = "execplan"
+	// KindMemPlan: the memory plan assigns overlapping offsets to
+	// concurrently-live tensors (or omits a buffer).
+	KindMemPlan ViolationKind = "memplan"
+	// KindBudget: the planned arena exceeds the configured byte budget.
+	KindBudget ViolationKind = "budget"
+	// KindNumeric: execution produced non-finite output values.
+	KindNumeric ViolationKind = "numeric"
+)
+
+// ContractError is a structured contract violation: which check failed,
+// which symbol/fact it concerns, and the offending value.
+type ContractError struct {
+	Kind ViolationKind
+	// Symbol and Fact are set for KindFact violations ("H", "H % 32 == 0").
+	Symbol string
+	Fact   string
+	// Value is the concrete value that violated the fact (KindFact) or
+	// budget (KindBudget).
+	Value int64
+	// Detail carries the human-readable specifics.
+	Detail string
+	// Cause, when non-nil, is the underlying error.
+	Cause error
+}
+
+// Error renders the violation.
+func (e *ContractError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "guard: contract violation [%s]", e.Kind)
+	if e.Symbol != "" {
+		fmt.Fprintf(&b, ": symbol %s = %d violates %q", e.Symbol, e.Value, e.Fact)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, ": %s", e.Detail)
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&b, ": %v", e.Cause)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause.
+func (e *ContractError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrContract) match any ContractError.
+func (e *ContractError) Is(target error) bool { return target == ErrContract }
+
+// Tier identifies which execution path produced a result. The zero
+// value is the fully-planned fast path.
+type Tier uint8
+
+// Fallback tiers in increasing degradation order.
+const (
+	// TierPlanned: arena-planned execution under the static plans.
+	TierPlanned Tier = iota
+	// TierDynamic: planned order but per-tensor dynamic allocation
+	// (the Nimble-style shape-function fallback).
+	TierDynamic
+	// TierReplan: full re-analysis + re-planning for the actual input
+	// (the MNN-style re-initialization fallback).
+	TierReplan
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierPlanned:
+		return "planned"
+	case TierDynamic:
+		return "dynamic"
+	case TierReplan:
+		return "replan"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// Degradation records one guarded-execution fallback: why the contract
+// failed, which tier the executor left and entered, and what the
+// recovery cost (re-planning time) was.
+type Degradation struct {
+	// Reason is the triggering error's message.
+	Reason string
+	// Kind is the violation kind when the trigger was a ContractError.
+	Kind ViolationKind
+	// From and To are the tiers before and after the fallback.
+	From, To Tier
+	// ReplanMS is the measured re-analysis + re-planning cost in
+	// milliseconds (0 unless To == TierReplan).
+	ReplanMS float64
+}
+
+// String renders the degradation for logs and reports.
+func (d Degradation) String() string {
+	s := fmt.Sprintf("%s→%s [%s] %s", d.From, d.To, d.Kind, d.Reason)
+	if d.ReplanMS > 0 {
+		s += fmt.Sprintf(" (replan %.3fms)", d.ReplanMS)
+	}
+	return s
+}

@@ -21,6 +21,7 @@
 package sod2
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/costmodel"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/frameworks"
 	"repro/internal/fusion"
 	"repro/internal/graph"
+	"repro/internal/guard"
 	"repro/internal/lattice"
 	"repro/internal/memplan"
 	"repro/internal/models"
@@ -64,6 +66,37 @@ type (
 	Sample = workload.Sample
 	// ModelBuilder describes one of the ten evaluation models.
 	ModelBuilder = models.Builder
+
+	// GuardOptions configure a guarded inference (context, budgets,
+	// fault-injection hooks, strict mode).
+	GuardOptions = frameworks.GuardOptions
+	// GuardReport describes how a guarded inference actually ran.
+	GuardReport = frameworks.GuardReport
+	// OpError is a structured per-kernel failure (panic or kernel error)
+	// carrying the node, op type, and input shapes.
+	OpError = guard.OpError
+	// ContractError is a structured runtime-contract violation.
+	ContractError = guard.ContractError
+	// Degradation records one guarded-execution fallback.
+	Degradation = guard.Degradation
+	// Tier identifies an execution tier (planned / dynamic / replan).
+	Tier = guard.Tier
+	// Fact is one analyzed input property (range or divisibility).
+	Fact = guard.Fact
+)
+
+// Execution tiers, fault sentinels, and hook points re-exported for
+// error handling with errors.Is/As.
+var (
+	TierPlanned = guard.TierPlanned
+	TierDynamic = guard.TierDynamic
+	TierReplan  = guard.TierReplan
+	// ErrPanic marks a contained kernel panic (wrapped in *OpError).
+	ErrPanic = guard.ErrPanic
+	// ErrContract matches any ContractError.
+	ErrContract = guard.ErrContract
+	// ErrArenaExhausted reports an arena placement past the byte budget.
+	ErrArenaExhausted = exec.ErrArenaExhausted
 )
 
 // Device profiles used throughout the evaluation.
@@ -172,19 +205,54 @@ func (c *Compiled) Infer(inputs map[string]*Tensor) (map[string]*Tensor, Report,
 	return c.InferOn(inputs, SD888CPU)
 }
 
-// InferOn executes on a specific device profile.
+// InferOn executes on a specific device profile. Execution is guarded:
+// inputs are checked against the model's runtime contract, kernel panics
+// surface as *OpError, and contract violations degrade to dynamic
+// allocation or a full re-plan instead of failing (the report records
+// the fallback tier and every degradation taken).
 func (c *Compiled) InferOn(inputs map[string]*Tensor, dev Device) (map[string]*Tensor, Report, error) {
-	s := workload.Sample{Inputs: inputs}
-	res, err := c.inner.Execute(s, false, frameworks.OrderPlanned)
+	return c.inferOn(inputs, dev, GuardOptions{})
+}
+
+func (c *Compiled) inferOn(inputs map[string]*Tensor, dev Device, gopts GuardOptions) (map[string]*Tensor, Report, error) {
+	res, gr, err := c.inner.GuardedRun(inputs, gopts)
 	if err != nil {
-		return nil, Report{}, err
+		return nil, Report{FallbackTier: gr.Tier, Degradations: gr.Degradations}, err
 	}
+	s := workload.Sample{Inputs: inputs}
 	rep, err := c.eng.Run(c.inner, s, dev)
 	if err != nil {
 		return nil, Report{}, err
 	}
+	if gr.Tier > rep.FallbackTier {
+		rep.FallbackTier = gr.Tier
+	}
+	rep.Degradations = append(gr.Degradations, rep.Degradations...)
+	if gr.ReplanMS > 0 {
+		if rep.Phases == nil {
+			rep.Phases = map[string]float64{}
+		}
+		rep.Phases["replan"] = gr.ReplanMS
+		rep.LatencyMS += gr.ReplanMS
+	}
 	return res.Outputs, rep, nil
 }
+
+// InferGuarded executes with explicit guard options (context, arena
+// budget, loop caps, fault-injection hooks, strict mode).
+func (c *Compiled) InferGuarded(inputs map[string]*Tensor, opts GuardOptions) (map[string]*Tensor, Report, error) {
+	return c.inferOn(inputs, SD888CPU, opts)
+}
+
+// InferCtx executes with a context bounding the inference; cancellation
+// is honored between nodes, including inside If/Loop bodies.
+func (c *Compiled) InferCtx(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, Report, error) {
+	return c.inferOn(inputs, SD888CPU, GuardOptions{Ctx: ctx})
+}
+
+// Contract returns the model's runtime contract (symbolic input shapes
+// plus analyzed range/divisibility facts) for inspection.
+func (c *Compiled) Contract() *guard.Contract { return c.inner.Contract() }
 
 // InferWithArena plans the runtime memory arena for the inputs (§4.4.1:
 // symbolic shapes bound by the input dims, liveness from the planned

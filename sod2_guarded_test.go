@@ -1,0 +1,90 @@
+package sod2
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The facade-level degradation contract: an input outside the analyzed
+// range completes through a fallback tier, the report says so, and the
+// result matches the unplanned reference execution.
+func TestFacadeDegradedInferMatchesReference(t *testing.T) {
+	b, err := BuildModel("YOLO-V6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(tensor.NewRNG(3), 225, 0.5) // 225 % 32 != 0
+
+	outs, rep, err := c.Infer(inputs)
+	if err != nil {
+		t.Fatalf("degraded inference should complete: %v", err)
+	}
+	if rep.FallbackTier != TierDynamic || len(rep.Degradations) == 0 {
+		t.Fatalf("fallback not recorded: tier=%v degradations=%v", rep.FallbackTier, rep.Degradations)
+	}
+	if !strings.Contains(rep.Degradations[0].Reason, "% 32") {
+		t.Errorf("degradation reason should quote the fact: %q", rep.Degradations[0].Reason)
+	}
+
+	ref, err := RunGraph(c.Graph(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range ref {
+		if got := outs[name]; got == nil || !tensor.AllClose(got, want, 1e-5) {
+			t.Errorf("degraded output %q diverges from reference", name)
+		}
+	}
+}
+
+func TestFacadeStrictRejectsContractViolation(t *testing.T) {
+	b, _ := BuildModel("YOLO-V6")
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(tensor.NewRNG(3), 225, 0.5)
+	_, _, err = c.InferGuarded(inputs, GuardOptions{Strict: true})
+	if !errors.Is(err, ErrContract) {
+		t.Fatalf("want ErrContract, got %v", err)
+	}
+	var ce *ContractError
+	if !errors.As(err, &ce) || ce.Symbol == "" {
+		t.Fatalf("violation should name the symbol: %v", err)
+	}
+}
+
+func TestFacadeInferCtxCancelled(t *testing.T) {
+	b, _ := BuildModel("CodeBERT")
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = c.InferCtx(ctx, b.Inputs(tensor.NewRNG(3), 64, 0.5))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestFacadeContractExposed(t *testing.T) {
+	b, _ := BuildModel("YOLO-V6")
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var facts []Fact
+	facts = c.Contract().Facts
+	if len(facts) == 0 {
+		t.Fatal("YOLO contract should carry analyzed facts")
+	}
+}
