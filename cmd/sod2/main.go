@@ -8,6 +8,7 @@
 //	sod2 analyze -model CodeBERT        # dump the RDP fixed point
 //	sod2 compile -model YOLO-V6         # fusion/plan/MVC summary
 //	sod2 run -model SkipNet -size 256   # execute one inference + report
+//	sod2 serve-bench -model BERT -requests 64 -workers 4
 //	sod2 dot -model DGNet               # Graphviz rendering of the graph
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/frameworks"
 	"repro/internal/models"
@@ -27,7 +29,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|dot|export|classify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|serve-bench|dot|export|classify> [flags]")
 	os.Exit(2)
 }
 
@@ -41,6 +43,9 @@ func main() {
 	size := fs.Int64("size", 0, "dynamic input extent (0 = model minimum)")
 	gate := fs.Float64("gate", 0.5, "control-flow gate activity in [0,1]")
 	device := fs.String("device", "sd888-cpu", "device profile: sd888-cpu|sd888-gpu|sd835-cpu|sd835-gpu")
+	requests := fs.Int("requests", 64, "serve-bench: total requests to issue")
+	workers := fs.Int("workers", 4, "serve-bench: concurrent workers")
+	distinct := fs.Int("distinct", 8, "serve-bench: distinct samples cycled through the request stream")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -52,6 +57,8 @@ func main() {
 		withModel(*modelName, compileCmd)
 	case "run":
 		runCmd(*modelName, *size, float32(*gate), *device)
+	case "serve-bench":
+		serveBenchCmd(*modelName, *device, *requests, *workers, *distinct)
 	case "dot":
 		withModel(*modelName, func(b *models.Builder) {
 			fmt.Print(b.Build().DOT())
@@ -185,4 +192,64 @@ func runCmd(name string, size int64, gate float32, device string) {
 	for name, t := range out {
 		fmt.Printf("output %s: %v\n", name, t.Shape)
 	}
+}
+
+// serveBenchCmd drives the concurrent serving facade: `requests`
+// inferences cycled over `distinct` samples, fanned out over `workers`
+// goroutines, with the shape-keyed plan cache and request coalescing on.
+func serveBenchCmd(name, device string, requests, workers, distinct int) {
+	b, ok := models.Get(name)
+	if !ok {
+		fail(fmt.Errorf("unknown model %q", name))
+	}
+	dev := sod2.SD888CPU
+	switch device {
+	case "sd888-gpu":
+		dev = sod2.SD888GPU
+	case "sd835-cpu":
+		dev = sod2.SD835CPU
+	case "sd835-gpu":
+		dev = sod2.SD835GPU
+	}
+	c, err := sod2.Compile(b)
+	if err != nil {
+		fail(err)
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	pool := workload.Samples(b, distinct, 42)
+	stream := make([]sod2.Sample, requests)
+	for i := range stream {
+		stream[i] = pool[i%distinct]
+	}
+
+	sess := c.NewSession(sod2.SessionOptions{Device: dev, Workers: workers})
+	start := time.Now()
+	results := sess.InferBatch(stream)
+	wall := time.Since(start)
+
+	var failed, planHits int
+	worstTier := sod2.TierPlanned
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			continue
+		}
+		if r.Report.PlanCacheHit {
+			planHits++
+		}
+		if r.Report.FallbackTier > worstTier {
+			worstTier = r.Report.FallbackTier
+		}
+	}
+	st := sess.Stats()
+	fmt.Printf("model=%s device=%s requests=%d workers=%d distinct=%d\n",
+		name, dev.Name, requests, workers, distinct)
+	fmt.Printf("wall: %v   throughput: %.1f req/s   failed: %d   worst tier: %s\n",
+		wall.Round(time.Millisecond), float64(requests)/wall.Seconds(), failed, worstTier)
+	fmt.Printf("plan cache: %d/%d request hits (%d hits / %d misses cumulative, %d entries)\n",
+		planHits, requests-failed, st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.PlanEntries)
+	fmt.Printf("trace memo: %d hits / %d misses (%d entries)   coalesced in flight: %d\n",
+		st.Cache.TraceHits, st.Cache.TraceMisses, st.Cache.TraceEntries, st.Coalesced)
 }

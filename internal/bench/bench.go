@@ -71,8 +71,25 @@ func Experiments() []string {
 		"fig12", "fig13", "memopt", "rdpablate"}
 }
 
-// Run dispatches one experiment by ID ("all" runs everything).
+// Run dispatches one experiment by ID ("all" runs everything). After
+// each experiment the cached models' runtime memoization (executor
+// traces, verified plans) is invalidated so results cannot leak from
+// one experiment into the next.
 func (s *Suite) Run(id string) error {
+	err := s.run(id)
+	s.invalidateAll()
+	return err
+}
+
+// invalidateAll drops runtime caches on every compiled model the suite
+// holds.
+func (s *Suite) invalidateAll() {
+	for _, c := range s.compiled {
+		c.Invalidate()
+	}
+}
+
+func (s *Suite) run(id string) error {
 	switch id {
 	case "table1":
 		return s.Table1()

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/exec"
@@ -143,6 +144,80 @@ func TestChaosOOMRecovery(t *testing.T) {
 	for name, want := range ref.Outputs {
 		if got := res.Outputs[name]; got == nil || !tensor.AllClose(got, want, 1e-5) {
 			t.Errorf("output %q diverges", name)
+		}
+	}
+}
+
+// TestChaosConcurrentFaultIsolation runs four inferences in flight at
+// once on one shared Compiled, one of them carrying an arena-OOM
+// injector. Containment must be per-request: the faulted inference
+// degrades to the dynamic tier, the other three stay planned with no
+// degradations, and all four produce outputs matching the reference.
+func TestChaosConcurrentFaultIsolation(t *testing.T) {
+	b, _ := models.Get("YOLO-V6")
+	c, err := frameworks.Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(tensor.NewRNG(11), 256, 0.5)
+	ref, err := exec.Run(c.Graph, inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the plan cache so every request below takes the cached-plan
+	// serving path — the fault must be isolated even on cache hits.
+	if _, _, err := c.GuardedRun(inputs, frameworks.GuardOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const inFlight = 4
+	const faulted = 2 // index of the request carrying the injector
+	inj := New(AllocOOM, 0)
+	type result struct {
+		res *exec.Result
+		gr  *frameworks.GuardReport
+		err error
+	}
+	results := make([]result, inFlight)
+	start := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	for g := 0; g < inFlight; g++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := frameworks.GuardOptions{}
+			if g == faulted {
+				opts.Hooks = inj.Hooks()
+			}
+			ready.Done()
+			<-start
+			res, gr, err := c.GuardedRun(inputs, opts)
+			results[g] = result{res, gr, err}
+		}(g)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+
+	if !inj.Fired() {
+		t.Fatal("injector never fired")
+	}
+	for g, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d failed: %v", g, r.err)
+		}
+		if g == faulted {
+			if r.gr.Tier != guard.TierDynamic || len(r.gr.Degradations) == 0 {
+				t.Errorf("faulted request should degrade to dynamic: %+v", r.gr)
+			}
+		} else if len(r.gr.Degradations) != 0 {
+			t.Errorf("healthy request %d degraded: %+v", g, r.gr.Degradations)
+		}
+		for name, want := range ref.Outputs {
+			if got := r.res.Outputs[name]; got == nil || !tensor.AllClose(got, want, 1e-5) {
+				t.Errorf("request %d output %q diverges", g, name)
+			}
 		}
 	}
 }

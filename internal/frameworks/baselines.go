@@ -1,6 +1,8 @@
 package frameworks
 
 import (
+	"sync"
+
 	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -64,6 +66,7 @@ func staticFusionView(m *Compiled) *fusionPlanView {
 // SL/ST/Alloc phases), static-only fusion, execute-all control flow, and
 // a best-fit greedy memory plan rebuilt at each re-initialization.
 type MNN struct {
+	mu        sync.Mutex       // guards lastShape under concurrent Run
 	lastShape map[string]int64 // model name → last shape key
 	// CountReinit includes re-initialization in LatencyMS. The paper
 	// isolates re-init in Table 1 and the Fig. 10 stability study but
@@ -87,7 +90,22 @@ func (e *MNN) Name() string { return "MNN" }
 func (e *MNN) Supports(model string, _ costmodel.Device) bool { return supportMatrix["MNN"][model] }
 
 // Reset clears the shape cache.
-func (e *MNN) Reset() { e.lastShape = map[string]int64{} }
+func (e *MNN) Reset() {
+	e.mu.Lock()
+	e.lastShape = map[string]int64{}
+	e.mu.Unlock()
+}
+
+// shapeChanged atomically tests-and-sets the engine's last-seen shape.
+func (e *MNN) shapeChanged(model string, key int64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lastShape[model] == key {
+		return false
+	}
+	e.lastShape[model] = key
+	return true
+}
 
 // Run executes one sample under MNN's policy.
 func (e *MNN) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (Report, error) {
@@ -99,8 +117,7 @@ func (e *MNN) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (Re
 	phases := map[string]float64{}
 
 	// Re-initialization on shape change.
-	if e.lastShape[m.Builder.Name] != sample.ShapeKey {
-		e.lastShape[m.Builder.Name] = sample.ShapeKey
+	if e.shapeChanged(m.Builder.Name, sample.ShapeKey) {
 		re := dev.Reinit(len(m.Graph.Nodes), tr.TotalAllocBytes)
 		phases["reinit-sl"] = re.ShapeLayoutMS
 		phases["reinit-st"] = re.ScheduleMS
@@ -261,6 +278,7 @@ func (e *TVMN) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 type TFLite struct {
 	// BudgetBytes caps memory (0 = uncapped).
 	BudgetBytes int64
+	mu          sync.Mutex // guards lastShape under concurrent Run
 	lastShape   map[string]int64
 }
 
@@ -278,7 +296,22 @@ func (e *TFLite) Supports(model string, _ costmodel.Device) bool {
 }
 
 // Reset clears the shape cache.
-func (e *TFLite) Reset() { e.lastShape = map[string]int64{} }
+func (e *TFLite) Reset() {
+	e.mu.Lock()
+	e.lastShape = map[string]int64{}
+	e.mu.Unlock()
+}
+
+// shapeChanged atomically tests-and-sets the engine's last-seen shape.
+func (e *TFLite) shapeChanged(model string, key int64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lastShape[model] == key {
+		return false
+	}
+	e.lastShape[model] = key
+	return true
+}
 
 // Run executes one sample under TFLite's policy.
 func (e *TFLite) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (Report, error) {
@@ -289,8 +322,7 @@ func (e *TFLite) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) 
 	}
 	tr := res.Trace
 	phases := map[string]float64{}
-	if e.lastShape[m.Builder.Name] != sample.ShapeKey {
-		e.lastShape[m.Builder.Name] = sample.ShapeKey
+	if e.shapeChanged(m.Builder.Name, sample.ShapeKey) {
 		re := dev.Reinit(len(m.Graph.Nodes), tr.TotalAllocBytes)
 		phases["reinit-sl"] = re.ShapeLayoutMS
 		phases["reinit-st"] = re.ScheduleMS

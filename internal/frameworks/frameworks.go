@@ -12,6 +12,8 @@ package frameworks
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/costmodel"
 	"repro/internal/exec"
@@ -42,6 +44,10 @@ type Report struct {
 	// Degradations records every guarded-execution fallback taken while
 	// producing this report, in the order they fired.
 	Degradations []guard.Degradation
+	// PlanCacheHit reports that the shape-keyed plan cache served this
+	// request's contract binding and verified memory plan (repeat shape:
+	// no re-verification was needed).
+	PlanCacheHit bool
 }
 
 // Engine is one execution framework.
@@ -56,6 +62,13 @@ type Engine interface {
 }
 
 // Compiled caches the per-model artifacts all engines share.
+//
+// Concurrency contract: after Compile returns, every exported field is
+// read-only and every method on Compiled is safe for concurrent use —
+// the trace cache, the shape-keyed plan cache, and the contract are all
+// guarded internally. Callers that mutate a compiled artifact in place
+// (tests corrupting ExecPlan.Order, harnesses swapping plans) must call
+// Invalidate() afterwards and must not race the mutation with inferences.
 type Compiled struct {
 	Builder      *models.Builder
 	Graph        *graph.Graph
@@ -69,10 +82,37 @@ type Compiled struct {
 	// "no execution planning" baseline.
 	NaiveOrder []*graph.Node
 
-	traceCache map[traceKey]*exec.Result
-	// contract caches the runtime contract built by Contract().
-	contract *guard.Contract
+	// cacheMu guards traces and traceFlights.
+	cacheMu sync.Mutex
+	// traces memoizes executor results by (sample, policy) with bounded
+	// per-entry LRU eviction.
+	traces *lruCache[traceKey, *exec.Result]
+	// traceFlights dedups concurrent executions of the same key: N
+	// goroutines hitting one (sample, policy) key execute once.
+	traceFlights map[traceKey]*traceFlight
+
+	// contractOnce guards the lazily built runtime contract.
+	contractOnce sync.Once
+	contract     *guard.Contract
+
+	// plans is the shape-keyed compiled-plan cache (plancache.go).
+	plans planCache
+
+	// hotspotIdx maps nodes to their MVC hotspot entry (built once at
+	// compile time; mvcEff previously linear-scanned all hotspots per
+	// trace event).
+	hotspotIdx map[*graph.Node]*mvc.NodeVersions
 }
+
+// traceFlight is one in-flight Execute call other goroutines wait on.
+type traceFlight struct {
+	done chan struct{}
+	res  *exec.Result
+	err  error
+}
+
+// traceCacheCap bounds the (sample, policy) → trace memo.
+const traceCacheCap = 256
 
 // OrderKind selects the execution order policy for Execute.
 type OrderKind uint8
@@ -97,14 +137,53 @@ type traceKey struct {
 // Execute runs the graph for one sample, memoizing by (sample, policy):
 // all engines and devices that need the same executor policy share one
 // real execution — the tensors and trace are identical by construction.
+// Safe for concurrent use: the memo is a bounded LRU (hot entries
+// survive eviction), and concurrent calls for the same in-flight key
+// coalesce into a single execution.
 func (c *Compiled) Execute(s workload.Sample, allBranches bool, kind OrderKind) (*exec.Result, error) {
-	key := traceKey{sampleID: s.ID, allBranches: allBranches, order: kind}
-	if c.traceCache == nil {
-		c.traceCache = map[traceKey]*exec.Result{}
+	if s.ID == 0 {
+		// Anonymous sample: never memoized, never deduped.
+		return c.executeUncached(s, allBranches, kind)
 	}
-	if r, ok := c.traceCache[key]; ok && s.ID != 0 {
+	key := traceKey{sampleID: s.ID, allBranches: allBranches, order: kind}
+	c.cacheMu.Lock()
+	if c.traces == nil {
+		c.traces = newLRU[traceKey, *exec.Result](traceCacheCap)
+	}
+	// Counter semantics: a miss is a real execution; joining an in-flight
+	// execution is a hit (the request was served without executing).
+	if r, ok := c.traces.GetNoCount(key); ok {
+		c.traces.noteHit()
+		c.cacheMu.Unlock()
 		return r, nil
 	}
+	if fl, ok := c.traceFlights[key]; ok {
+		c.traces.noteHit()
+		c.cacheMu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	c.traces.noteMiss()
+	if c.traceFlights == nil {
+		c.traceFlights = map[traceKey]*traceFlight{}
+	}
+	fl := &traceFlight{done: make(chan struct{})}
+	c.traceFlights[key] = fl
+	c.cacheMu.Unlock()
+
+	fl.res, fl.err = c.executeUncached(s, allBranches, kind)
+	c.cacheMu.Lock()
+	delete(c.traceFlights, key)
+	if fl.err == nil {
+		c.traces.Add(key, fl.res)
+	}
+	c.cacheMu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// executeUncached performs the real execution for Execute.
+func (c *Compiled) executeUncached(s workload.Sample, allBranches bool, kind OrderKind) (*exec.Result, error) {
 	var order []*graph.Node
 	switch kind {
 	case OrderPlanned:
@@ -123,13 +202,46 @@ func (c *Compiled) Execute(s workload.Sample, allBranches bool, kind OrderKind) 
 			return nil, fmt.Errorf("frameworks: %s: output %q not produced (incomplete schedule)", c.Graph.Name, o)
 		}
 	}
-	if s.ID != 0 {
-		if len(c.traceCache) > 256 {
-			c.traceCache = map[traceKey]*exec.Result{}
-		}
-		c.traceCache[key] = r
-	}
 	return r, nil
+}
+
+// Invalidate drops every memoized runtime artifact — the (sample,
+// policy) trace memo and the shape-keyed plan cache. Call it between
+// experiments (the bench harness does) so traces and verified plans
+// cannot leak across runs, and after mutating any compiled artifact in
+// place. Cumulative hit/miss counters survive invalidation.
+func (c *Compiled) Invalidate() {
+	c.cacheMu.Lock()
+	if c.traces != nil {
+		c.traces.Purge()
+	}
+	c.cacheMu.Unlock()
+	c.plans.purge()
+}
+
+// CacheStats reports the cumulative effectiveness of Compiled's runtime
+// caches.
+type CacheStats struct {
+	// TraceHits/TraceMisses count (sample, policy) trace-memo lookups.
+	TraceHits, TraceMisses uint64
+	// PlanHits/PlanMisses count shape-keyed plan-cache lookups made by
+	// guarded runs.
+	PlanHits, PlanMisses uint64
+	// TraceEntries/PlanEntries are the current cache sizes.
+	TraceEntries, PlanEntries int
+}
+
+// Stats snapshots the cache counters.
+func (c *Compiled) Stats() CacheStats {
+	var st CacheStats
+	c.cacheMu.Lock()
+	if c.traces != nil {
+		st.TraceHits, st.TraceMisses = c.traces.Stats()
+		st.TraceEntries = c.traces.Len()
+	}
+	c.cacheMu.Unlock()
+	st.PlanHits, st.PlanMisses, st.PlanEntries = c.plans.stats()
+	return st
 }
 
 // Compile analyzes and plans a model once (SoD²'s pre-deployment work;
@@ -158,6 +270,7 @@ func Compile(b *models.Builder) (*Compiled, error) {
 	c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
 	c.NaiveOrder = plan.BFSOrder(g)
 	c.compileSubgraphs()
+	c.buildHotspotIndex()
 	return c, nil
 }
 
@@ -300,76 +413,94 @@ func poolSimArena(p *memplan.Program) int64 {
 		step  int
 		alloc bool
 		size  int64
-		idx   int
 	}
 	var evs []ev
-	for i, b := range p.Bufs {
+	for _, b := range p.Bufs {
 		if b.Size == 0 {
 			continue
 		}
-		evs = append(evs, ev{step: b.Birth, alloc: true, size: b.Size, idx: i})
-		evs = append(evs, ev{step: b.Death + 1, alloc: false, size: b.Size, idx: i})
+		evs = append(evs, ev{step: b.Birth, alloc: true, size: b.Size})
+		evs = append(evs, ev{step: b.Death + 1, alloc: false, size: b.Size})
 	}
-	// Stable order: by step; frees before allocs at the same step.
-	for s := 0; s <= p.Steps+1; s++ {
-		for _, e := range evs {
-			if e.step != s || e.alloc {
-				continue
-			}
-			freed = append(freed, chunk{e.size})
+	// Stable order: by step; frees before allocs at the same step. One
+	// sort replaces the old per-step rescan of every event (which made
+	// the simulation O(steps × events)).
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].step != evs[j].step {
+			return evs[i].step < evs[j].step
 		}
-		for _, e := range evs {
-			if e.step != s || !e.alloc {
-				continue
+		return !evs[i].alloc && evs[j].alloc
+	})
+	for _, e := range evs {
+		if !e.alloc {
+			freed = append(freed, chunk{e.size})
+			continue
+		}
+		reused := -1
+		var bestSize int64 = 1 << 62
+		for i, c := range freed {
+			if c.size >= e.size && c.size < 2*e.size && c.size < bestSize {
+				reused, bestSize = i, c.size
 			}
-			reused := -1
-			var bestSize int64 = 1 << 62
-			for i, c := range freed {
-				if c.size >= e.size && c.size < 2*e.size && c.size < bestSize {
-					reused, bestSize = i, c.size
-				}
-			}
-			if reused >= 0 {
-				freed = append(freed[:reused], freed[reused+1:]...)
-			} else {
-				arena += e.size
-			}
+		}
+		if reused >= 0 {
+			freed = append(freed[:reused], freed[reused+1:]...)
+		} else {
+			arena += e.size
 		}
 	}
 	return arena
 }
 
-// mvcEff returns the tuned-kernel efficiency for an executed hotspot op.
-func mvcEff(plan *mvc.Plan, ev exec.OpEvent) float64 {
-	if plan == nil {
+// mvcEff returns the tuned-kernel efficiency for an executed hotspot op,
+// resolving the hotspot through the compile-time node index (the old
+// path linear-scanned every hotspot for every trace event).
+func (c *Compiled) mvcEff(ev exec.OpEvent) float64 {
+	if c.MVCPlan == nil {
 		return 1.0
 	}
-	for i := range plan.Hotspots {
-		h := &plan.Hotspots[i]
-		if h.Node != ev.Node {
-			continue
-		}
-		m, n := int64(64), int64(64)
-		switch ev.OpType {
-		case "MatMul", "Gemm":
-			if len(ev.InShapes) >= 2 {
-				a := ev.InShapes[0]
-				b := ev.InShapes[1]
-				if len(a) >= 2 {
-					m = a[len(a)-2]
-				}
-				if len(b) >= 1 {
-					n = b[len(b)-1]
-				}
-			}
-		case "Conv":
-			if len(ev.OutShapes) >= 1 && len(ev.OutShapes[0]) == 4 {
-				o := ev.OutShapes[0]
-				m = o[1]
-				n = o[2] * o[3]
-			}
-		}
-		return h.SelectVersion(m, n).Efficiency
+	h := c.hotspotIdx[ev.Node]
+	if h == nil {
+		return 1.0
 	}
-	return 1.0
+	return hotspotEff(h, ev)
+}
+
+// hotspotEff evaluates one hotspot's version selection for an event.
+func hotspotEff(h *mvc.NodeVersions, ev exec.OpEvent) float64 {
+	m, n := int64(64), int64(64)
+	switch ev.OpType {
+	case "MatMul", "Gemm":
+		if len(ev.InShapes) >= 2 {
+			a := ev.InShapes[0]
+			b := ev.InShapes[1]
+			if len(a) >= 2 {
+				m = a[len(a)-2]
+			}
+			if len(b) >= 1 {
+				n = b[len(b)-1]
+			}
+		}
+	case "Conv":
+		if len(ev.OutShapes) >= 1 && len(ev.OutShapes[0]) == 4 {
+			o := ev.OutShapes[0]
+			m = o[1]
+			n = o[2] * o[3]
+		}
+	}
+	return h.SelectVersion(m, n).Efficiency
+}
+
+// buildHotspotIndex precomputes the node → hotspot map mvcEff consults.
+// Called once at the end of Compile, after subgraph hotspots have been
+// folded in, so the index never changes afterwards (safe to share).
+func (c *Compiled) buildHotspotIndex() {
+	if c.MVCPlan == nil {
+		return
+	}
+	c.hotspotIdx = make(map[*graph.Node]*mvc.NodeVersions, len(c.MVCPlan.Hotspots))
+	for i := range c.MVCPlan.Hotspots {
+		h := &c.MVCPlan.Hotspots[i]
+		c.hotspotIdx[h.Node] = h
+	}
 }

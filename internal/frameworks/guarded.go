@@ -49,22 +49,25 @@ type GuardReport struct {
 	ReplanMS float64
 	// ArenaHighWater is the peak arena byte touched (planned tier only).
 	ArenaHighWater int64
+	// PlanCacheHit reports that the shape-keyed plan cache supplied the
+	// contract binding and verified memory plan, skipping
+	// re-verification for this request.
+	PlanCacheHit bool
 }
 
 // Contract returns the model's runtime contract: declared symbolic input
 // shapes, the RDP fixed point, and analyzed input facts (extent ranges
 // and divisibility) derived from the model's sampling spec. Built once
-// and cached on the Compiled.
+// and cached on the Compiled (safe for concurrent use).
 func (c *Compiled) Contract() *guard.Contract {
-	if c.contract != nil {
-		return c.contract
-	}
-	ct := guard.NewContract(c.Graph, c.Infos)
-	for _, f := range c.deriveFacts() {
-		ct.AddFact(f)
-	}
-	c.contract = ct
-	return ct
+	c.contractOnce.Do(func() {
+		ct := guard.NewContract(c.Graph, c.Infos)
+		for _, f := range c.deriveFacts() {
+			ct.AddFact(f)
+		}
+		c.contract = ct
+	})
+	return c.contract
 }
 
 // deriveFacts probes the model's input generator at both ends of its
@@ -130,6 +133,16 @@ func (c *Compiled) probeEnv(size int64) map[string]int64 {
 //
 // Kernel panics surface as *guard.OpError; a nil error means the outputs
 // are complete (possibly via a degraded tier — check the GuardReport).
+//
+// GuardedRun is safe for concurrent use on a shared Compiled. The
+// shape-dependent work — contract binding, fact/shape checks, plan
+// verification, arena sizing — is memoized per input-shape key in a
+// bounded LRU (§4.3–§4.4's static planning done once per shape), with
+// singleflight dedup so concurrent cold misses verify once; repeat
+// shapes skip re-verification entirely (GuardReport.PlanCacheHit).
+// Arena backing buffers come from a size-classed pool and are returned
+// after the run, so concurrent inferences do not each allocate a fresh
+// arena; outputs are detached from the arena before it is recycled.
 func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOptions) (*exec.Result, *GuardReport, error) {
 	gr := &GuardReport{Tier: guard.TierPlanned}
 	degrade := func(reason string, kind guard.ViolationKind, to guard.Tier) {
@@ -138,9 +151,25 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 		gr.Tier = to
 	}
 
-	// 1. Input-side contract.
-	env, cerr := c.Contract().Check(inputs)
-	if cerr != nil {
+	// 1.+2. Shape-dependent verification: contract binding, analyzed
+	// facts, execution-plan and memory-plan checks. The outcome is a
+	// pure function of the input shapes, so it is served from the
+	// shape-keyed plan cache when possible; MutatePlan (a test hook that
+	// edits the plan) forces the uncached path.
+	var outcome *planOutcome
+	if opts.MutatePlan == nil {
+		if key, ok := c.planKey(inputs); ok {
+			outcome, gr.PlanCacheHit = c.plans.do(key, func() *planOutcome {
+				return c.buildPlanOutcome(inputs, nil)
+			})
+		}
+	}
+	if outcome == nil {
+		outcome = c.buildPlanOutcome(inputs, opts.MutatePlan)
+	}
+
+	// Interpret the input-side verdict under this request's options.
+	if cerr := outcome.cerr; cerr != nil {
 		var ce *guard.ContractError
 		if !errors.As(cerr, &ce) {
 			return nil, gr, cerr
@@ -166,11 +195,12 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 		}
 	}
 
-	// 2. Plan-side contracts (only reached when the binding is sound).
+	// Interpret the plan-side verdicts (only meaningful when the binding
+	// is sound).
 	order := c.ExecPlan.Order
 	var arena *exec.Arena
 	if gr.Tier == guard.TierPlanned {
-		if err := guard.VerifyExecutionPlan(c.Graph, order); err != nil {
+		if err := outcome.execPlanErr; err != nil {
 			if opts.Strict {
 				return nil, gr, err
 			}
@@ -178,27 +208,23 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 		}
 	}
 	if gr.Tier == guard.TierPlanned {
-		pl, prog := memProgram(c.Graph, order, c.Infos, env)
-		if opts.MutatePlan != nil {
-			opts.MutatePlan(pl)
-		}
-		verr := guard.VerifyMemoryPlan(pl, prog)
-		if verr == nil && opts.ArenaBudget > 0 && pl.ArenaSize > opts.ArenaBudget {
-			verr = &guard.ContractError{Kind: guard.KindBudget,
-				Detail: fmt.Sprintf("planned arena %d bytes exceeds budget %d", pl.ArenaSize, opts.ArenaBudget)}
-		}
-		if verr != nil {
+		switch {
+		case outcome.memErr != nil:
+			if opts.Strict {
+				return nil, gr, outcome.memErr
+			}
+			degrade(outcome.memErr.Error(), outcome.memErrKind, guard.TierDynamic)
+		case opts.ArenaBudget > 0 && outcome.plan.ArenaSize > opts.ArenaBudget:
+			// The budget is per-request, so it is re-checked on every
+			// cache hit rather than baked into the cached outcome.
+			verr := &guard.ContractError{Kind: guard.KindBudget,
+				Detail: fmt.Sprintf("planned arena %d bytes exceeds budget %d", outcome.plan.ArenaSize, opts.ArenaBudget)}
 			if opts.Strict {
 				return nil, gr, verr
 			}
-			var ce *guard.ContractError
-			kind := guard.KindMemPlan
-			if errors.As(verr, &ce) {
-				kind = ce.Kind
-			}
-			degrade(verr.Error(), kind, guard.TierDynamic)
-		} else {
-			arena = exec.NewArena(pl.Offsets, pl.ArenaSize)
+			degrade(verr.Error(), guard.KindBudget, guard.TierDynamic)
+		default:
+			arena = exec.NewPooledArena(outcome.plan.Offsets, outcome.plan.ArenaSize)
 			arena.Budget = opts.ArenaBudget
 		}
 	}
@@ -230,16 +256,22 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 	if err != nil && gr.Tier == guard.TierPlanned && exec.IsArenaFault(err) && !opts.Strict {
 		// The plan disagreed with runtime reality (injected OOM, stale
 		// offsets). The dynamic allocator is immune: retry without the
-		// arena.
+		// arena (the failed run leaked nothing, so its buffer recycles).
 		degrade(err.Error(), guard.KindMemPlan, guard.TierDynamic)
-		execOpts.Arena = nil
+		arena.Release()
+		arena, execOpts.Arena = nil, nil
 		res, err = exec.Run(c.Graph, inputs, execOpts)
 	}
 	if err != nil {
+		arena.Release()
 		return nil, gr, err
 	}
-	if execOpts.Arena != nil {
-		gr.ArenaHighWater = execOpts.Arena.HighWater
+	if arena != nil {
+		gr.ArenaHighWater = arena.HighWater
+		// Clone arena-backed outputs, then hand the buffer back to the
+		// pool for the next concurrent inference.
+		arena.Detach(res.Outputs)
+		arena.Release()
 	}
 	if !opts.SkipFiniteCheck {
 		if ferr := guard.CheckFinite(res.Outputs); ferr != nil {
@@ -247,6 +279,41 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 		}
 	}
 	return res, gr, nil
+}
+
+// buildPlanOutcome runs the full shape-dependent verification pipeline:
+// contract check (bind + facts + shape ranges), execution-plan
+// verification, memory-plan construction + verification. With mutate ==
+// nil the result depends only on the input shapes and is cacheable per
+// shape key; a non-nil mutate (test hook) edits the plan before
+// verification and must stay uncached.
+func (c *Compiled) buildPlanOutcome(inputs map[string]*tensor.Tensor, mutate func(*memplan.Plan)) *planOutcome {
+	o := &planOutcome{}
+	o.env, o.cerr = c.Contract().Check(inputs)
+	if o.cerr != nil {
+		// Degraded tiers never consult the plans; skip the verification
+		// work the old inline path skipped too.
+		return o
+	}
+	o.execPlanErr = guard.VerifyExecutionPlan(c.Graph, c.ExecPlan.Order)
+	if o.execPlanErr != nil {
+		return o
+	}
+	pl, prog := memProgram(c.Graph, c.ExecPlan.Order, c.Infos, o.env)
+	if mutate != nil {
+		mutate(pl)
+	}
+	if verr := guard.VerifyMemoryPlan(pl, prog); verr != nil {
+		o.memErr = verr
+		o.memErrKind = guard.KindMemPlan
+		var ce *guard.ContractError
+		if errors.As(verr, &ce) {
+			o.memErrKind = ce.Kind
+		}
+		return o
+	}
+	o.plan = pl
+	return o
 }
 
 // replan re-analyzes the graph with every input shape pinned to its

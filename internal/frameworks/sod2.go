@@ -64,7 +64,10 @@ func (s *SoD2) Name() string {
 // Supports: SoD² runs every model on every device.
 func (s *SoD2) Supports(string, costmodel.Device) bool { return true }
 
-// Reset is a no-op: SoD² has no shape-dependent cache to invalidate.
+// Reset is a no-op: the engine itself keeps no per-shape state. The
+// shape-dependent memoization (executor traces, verified plans) lives on
+// Compiled — harnesses clear it with Compiled.Invalidate() between
+// experiments.
 func (s *SoD2) Reset() {}
 
 // Run executes one sample under the configured optimization set.
@@ -128,9 +131,8 @@ func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 		}
 	}
 	if s.Opts.MVC || s.Opts.StaticFrozen {
-		mp := m.MVCPlan
 		opts.Eff = func(ev exec.OpEvent) float64 {
-			e := mvcEff(mp, ev) * sepBonus
+			e := m.mvcEff(ev) * sepBonus
 			if s.Opts.StaticFrozen {
 				// Full static information → marginally deeper fusion
 				// and perfectly specialized single-version kernels.

@@ -6,7 +6,9 @@
 package workload
 
 import (
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/models"
 	"repro/internal/tensor"
@@ -24,12 +26,12 @@ type Sample struct {
 	ShapeKey int64
 }
 
-var sampleIDCounter uint64
+// sampleIDCounter is atomic so concurrent serving paths can generate
+// samples without racing on IDs (duplicate IDs would alias distinct
+// inputs in the engines' trace memo).
+var sampleIDCounter atomic.Uint64
 
-func nextID() uint64 {
-	sampleIDCounter++
-	return sampleIDCounter
-}
+func nextID() uint64 { return sampleIDCounter.Add(1) }
 
 // alignedSizes enumerates the valid sizes of a model.
 func alignedSizes(b *models.Builder) []int64 {
@@ -69,7 +71,9 @@ func PercentileSamples(b *models.Builder, n int, percentile float64, seed uint64
 	rng := tensor.NewRNG(seed)
 	sizes := alignedSizes(b)
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
-	idx := int(percentile / 100 * float64(len(sizes)-1))
+	// Round to the nearest index: plain int() truncation landed e.g. the
+	// 50th percentile of an even-length size list below the median.
+	idx := int(math.Round(percentile / 100 * float64(len(sizes)-1)))
 	if idx < 0 {
 		idx = 0
 	}

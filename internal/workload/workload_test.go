@@ -83,6 +83,26 @@ func TestPercentileMonotone(t *testing.T) {
 	}
 }
 
+// Regression for the index-truncation bug: percentile selection must
+// round to the NEAREST size index. YOLO-V6 has 14 sizes (224..640 step
+// 32, indices 0..13); truncation placed the 50th percentile at index
+// int(6.5)=6 (416) instead of round(6.5)=7 (448), below the median.
+func TestPercentileRoundsToNearest(t *testing.T) {
+	b := yolo(t)
+	want := map[float64]int64{
+		1:   224, // round(0.13) → index 0
+		25:  320, // round(3.25) → index 3
+		50:  448, // round(6.5)  → index 7 (truncation gave 416)
+		75:  544, // round(9.75) → index 10
+		100: 640, // index 13
+	}
+	for p, size := range want {
+		if got := PercentileSamples(b, 1, p, 7)[0].Size; got != size {
+			t.Errorf("percentile %v: size %d, want %d", p, got, size)
+		}
+	}
+}
+
 func TestSweepIncreasing(t *testing.T) {
 	b := yolo(t)
 	sw := Sweep(b, 15, 3)

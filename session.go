@@ -1,0 +1,187 @@
+package sod2
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/frameworks"
+)
+
+// CacheStats snapshots a compiled model's runtime-cache effectiveness
+// (trace memo and shape-keyed plan cache hit/miss counters).
+type CacheStats = frameworks.CacheStats
+
+// Invalidate drops the compiled model's memoized runtime artifacts —
+// the (sample, policy) trace memo and the shape-keyed plan cache. Call
+// it between experiments, and after mutating any compiled artifact in
+// place. Cumulative hit/miss counters survive.
+func (c *Compiled) Invalidate() { c.inner.Invalidate() }
+
+// CacheStats snapshots the compiled model's cache counters.
+func (c *Compiled) CacheStats() CacheStats { return c.inner.Stats() }
+
+// SessionOptions configure a serving session.
+type SessionOptions struct {
+	// Device is the analytic device profile (SD888CPU when zero).
+	Device Device
+	// Workers bounds InferBatch's fan-out (GOMAXPROCS when 0).
+	Workers int
+	// Guard options applied to every request (per-request context and
+	// hooks are not supported through a session; use InferGuarded).
+	ArenaBudget  int64
+	MaxLoopIters int64
+	Strict       bool
+}
+
+// Session is the concurrent serving facade over one compiled model: any
+// number of goroutines may call InferConcurrent/InferSample/InferBatch
+// on one Session. The session owns nothing mutable beyond counters and
+// the in-flight request table — all shape-dependent memoization (plan
+// cache, arena pooling) lives on the shared Compiled, so several
+// Sessions over one model share those caches.
+//
+// Requests carrying the same non-zero Sample.ID that are in flight at
+// the same time are coalesced: one guarded execution serves all of them
+// (the singleflight dedup of a hot request). Coalesced callers share the
+// output tensors and must treat them as read-only.
+type Session struct {
+	c       *Compiled
+	dev     Device
+	workers int
+	gopts   GuardOptions
+
+	mu       sync.Mutex
+	inflight map[uint64]*inferFlight
+
+	requests  atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+type inferFlight struct {
+	done chan struct{}
+	out  map[string]*Tensor
+	rep  Report
+	err  error
+}
+
+// NewSession builds a serving session over a compiled model.
+func (c *Compiled) NewSession(opts SessionOptions) *Session {
+	var zero Device
+	if opts.Device == zero {
+		opts.Device = SD888CPU
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		c:       c,
+		dev:     opts.Device,
+		workers: opts.Workers,
+		gopts: GuardOptions{
+			ArenaBudget:  opts.ArenaBudget,
+			MaxLoopIters: opts.MaxLoopIters,
+			Strict:       opts.Strict,
+		},
+		inflight: map[uint64]*inferFlight{},
+	}
+}
+
+// InferConcurrent executes one set of inputs under the session's device
+// and guard options. Safe to call from any number of goroutines; the
+// returned Report carries the cache-hit tier (PlanCacheHit) and any
+// degradations taken.
+func (s *Session) InferConcurrent(inputs map[string]*Tensor) (map[string]*Tensor, Report, error) {
+	s.requests.Add(1)
+	return s.c.inferOn(inputs, s.dev, s.gopts)
+}
+
+// InferSample executes one workload sample. Samples with a non-zero ID
+// coalesce with identical in-flight requests: N concurrent goroutines
+// submitting the same sample share one guarded execution (and its
+// outputs, which they must treat as read-only).
+func (s *Session) InferSample(sample Sample) (map[string]*Tensor, Report, error) {
+	if sample.ID == 0 {
+		return s.InferConcurrent(sample.Inputs)
+	}
+	s.requests.Add(1)
+	s.mu.Lock()
+	if fl, ok := s.inflight[sample.ID]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-fl.done
+		return fl.out, fl.rep, fl.err
+	}
+	fl := &inferFlight{done: make(chan struct{})}
+	s.inflight[sample.ID] = fl
+	s.mu.Unlock()
+
+	fl.out, fl.rep, fl.err = s.c.inferSample(sample, s.dev, s.gopts)
+	s.mu.Lock()
+	delete(s.inflight, sample.ID)
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.out, fl.rep, fl.err
+}
+
+// BatchResult is one request's outcome within an InferBatch fan-out.
+type BatchResult struct {
+	// Index is the request's position in the submitted slice.
+	Index int
+	// Outputs are the inference outputs (nil on error).
+	Outputs map[string]*Tensor
+	// Report is the per-request latency/memory/cache report.
+	Report Report
+	// Err is the request's failure, if any (other requests proceed).
+	Err error
+}
+
+// InferBatch fans the samples out over the session's worker pool and
+// returns one result per sample, in submission order. A failed request
+// records its error without affecting the rest of the batch.
+func (s *Session) InferBatch(samples []Sample) []BatchResult {
+	results := make([]BatchResult, len(samples))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out, rep, err := s.InferSample(samples[i])
+				results[i] = BatchResult{Index: i, Outputs: out, Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range samples {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// SessionStats describes a session's request flow and the shared model
+// caches behind it.
+type SessionStats struct {
+	// Requests is the total number of requests submitted.
+	Requests uint64
+	// Coalesced counts requests served by joining an identical in-flight
+	// request instead of executing.
+	Coalesced uint64
+	// Cache snapshots the shared Compiled's cache counters.
+	Cache CacheStats
+}
+
+// Stats snapshots the session counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Requests:  s.requests.Load(),
+		Coalesced: s.coalesced.Load(),
+		Cache:     s.c.CacheStats(),
+	}
+}

@@ -215,11 +215,17 @@ func (c *Compiled) InferOn(inputs map[string]*Tensor, dev Device) (map[string]*T
 }
 
 func (c *Compiled) inferOn(inputs map[string]*Tensor, dev Device, gopts GuardOptions) (map[string]*Tensor, Report, error) {
-	res, gr, err := c.inner.GuardedRun(inputs, gopts)
+	return c.inferSample(workload.Sample{Inputs: inputs}, dev, gopts)
+}
+
+// inferSample is the shared guarded-inference path. A sample with a
+// non-zero ID additionally engages the engine's trace memo (the cost
+// model's per-(sample, policy) execution cache).
+func (c *Compiled) inferSample(s Sample, dev Device, gopts GuardOptions) (map[string]*Tensor, Report, error) {
+	res, gr, err := c.inner.GuardedRun(s.Inputs, gopts)
 	if err != nil {
 		return nil, Report{FallbackTier: gr.Tier, Degradations: gr.Degradations}, err
 	}
-	s := workload.Sample{Inputs: inputs}
 	rep, err := c.eng.Run(c.inner, s, dev)
 	if err != nil {
 		return nil, Report{}, err
@@ -227,6 +233,7 @@ func (c *Compiled) inferOn(inputs map[string]*Tensor, dev Device, gopts GuardOpt
 	if gr.Tier > rep.FallbackTier {
 		rep.FallbackTier = gr.Tier
 	}
+	rep.PlanCacheHit = gr.PlanCacheHit
 	rep.Degradations = append(gr.Degradations, rep.Degradations...)
 	if gr.ReplanMS > 0 {
 		if rep.Phases == nil {

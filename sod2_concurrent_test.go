@@ -1,0 +1,276 @@
+// The concurrent serving suite (run under -race in CI): a shared
+// Compiled must serve simultaneous guarded inferences from many
+// goroutines with outputs bit-identical to the serial run, and the
+// Session facade must coalesce, fan out, and report correctly.
+package sod2
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// TestConcurrentInferAllModels runs N goroutines of InferGuarded against
+// one shared Compiled for every evaluation model and checks each
+// concurrent output against the serial reference, element for element.
+func TestConcurrentInferAllModels(t *testing.T) {
+	const goroutines = 4
+	for _, m := range models.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			c, err := Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := m.Inputs(tensor.NewRNG(11), m.MinSize, 0.5)
+
+			// Serial reference first (also warms the plan cache — the
+			// concurrent runs below exercise the hit path).
+			ref, refRep, err := c.InferGuarded(inputs, GuardOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(refRep.Degradations) != 0 {
+				t.Fatalf("reference run degraded: %+v", refRep.Degradations)
+			}
+
+			type result struct {
+				outs map[string]*Tensor
+				rep  Report
+				err  error
+			}
+			results := make([]result, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					outs, rep, err := c.InferGuarded(inputs, GuardOptions{})
+					results[g] = result{outs, rep, err}
+				}(g)
+			}
+			wg.Wait()
+
+			for g, r := range results {
+				if r.err != nil {
+					t.Fatalf("goroutine %d: %v", g, r.err)
+				}
+				if len(r.rep.Degradations) != 0 {
+					t.Errorf("goroutine %d degraded: %+v", g, r.rep.Degradations)
+				}
+				if !r.rep.PlanCacheHit {
+					t.Errorf("goroutine %d missed the warmed plan cache", g)
+				}
+				if len(r.outs) != len(ref) {
+					t.Fatalf("goroutine %d: %d outputs, want %d", g, len(r.outs), len(ref))
+				}
+				for name, want := range ref {
+					got := r.outs[name]
+					if got == nil {
+						t.Fatalf("goroutine %d missing output %q", g, name)
+						continue
+					}
+					if len(got.F) != len(want.F) {
+						t.Fatalf("goroutine %d output %q: %d elems, want %d", g, name, len(got.F), len(want.F))
+					}
+					for i := range want.F {
+						if got.F[i] != want.F[i] {
+							t.Fatalf("goroutine %d output %q[%d] = %v, want %v (not bit-identical)",
+								g, name, i, got.F[i], want.F[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSessionCoalescesIdenticalRequests: goroutines submitting the same
+// sample while one is in flight share a single execution.
+func TestSessionCoalescesIdenticalRequests(t *testing.T) {
+	b, err := BuildModel("CodeBERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.NewSession(SessionOptions{})
+	s := NewSample(b, 64, 0.5, 21)
+
+	const clients = 6
+	start := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	outs := make([]map[string]*Tensor, clients)
+	for g := 0; g < clients; g++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ready.Done()
+			<-start
+			o, _, err := sess.InferSample(s)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[g] = o
+		}(g)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+
+	st := sess.Stats()
+	if st.Requests != clients {
+		t.Errorf("requests = %d, want %d", st.Requests, clients)
+	}
+	// Scheduling decides how many clients arrive while the leader is
+	// still running; every coalesced one must share the leader's outputs.
+	var coalescedShares int
+	for g := 1; g < clients; g++ {
+		if outs[g] == nil {
+			t.Fatalf("client %d got no outputs", g)
+		}
+		for name := range outs[0] {
+			if outs[g][name] == outs[0][name] && outs[g][name] != nil {
+				coalescedShares++
+				break
+			}
+		}
+	}
+	if st.Coalesced > 0 && coalescedShares == 0 {
+		t.Errorf("%d requests coalesced but no client shares the leader's outputs", st.Coalesced)
+	}
+}
+
+// TestSessionInferBatch: results come back in submission order, each
+// with its own report, and a bad request fails alone.
+func TestSessionInferBatch(t *testing.T) {
+	b, err := BuildModel("CodeBERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.NewSession(SessionOptions{Workers: 4})
+
+	samples := make([]Sample, 6)
+	for i := range samples {
+		samples[i] = NewSample(b, int64(48+8*i), 0.5, uint64(100+i))
+	}
+	// Sabotage one request: a missing graph input must fail that request
+	// only.
+	samples[3].Inputs = map[string]*Tensor{}
+
+	results := sess.InferBatch(samples)
+	if len(results) != len(samples) {
+		t.Fatalf("got %d results for %d samples", len(results), len(samples))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if i == 3 {
+			if r.Err == nil {
+				t.Error("sabotaged request should fail")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("request %d failed: %v", i, r.Err)
+		}
+		if len(r.Outputs) == 0 {
+			t.Errorf("request %d produced no outputs", i)
+		}
+	}
+
+	// Batch throughput accounting: per-request reports carry the
+	// cache-hit tier so a serving layer can split cold from warm latency.
+	again := sess.InferBatch(samples[:3])
+	for i, r := range again {
+		if r.Err != nil {
+			t.Fatalf("warm request %d failed: %v", i, r.Err)
+		}
+		if !r.Report.PlanCacheHit {
+			t.Errorf("warm request %d should report a plan-cache hit", i)
+		}
+	}
+}
+
+// TestSessionStatsCounts pins the session counters on a deterministic
+// serial request stream.
+func TestSessionStatsCounts(t *testing.T) {
+	b, err := BuildModel("CodeBERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.NewSession(SessionOptions{Workers: 1})
+	s1 := NewSample(b, 64, 0.5, 31)
+	s2 := NewSample(b, 80, 0.5, 32)
+	for _, s := range []Sample{s1, s2, s1, s2, s1} {
+		if _, _, err := sess.InferSample(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sess.Stats()
+	if st.Requests != 5 {
+		t.Errorf("requests = %d, want 5", st.Requests)
+	}
+	if st.Coalesced != 0 {
+		t.Errorf("serial stream should not coalesce, got %d", st.Coalesced)
+	}
+	// Two distinct shapes: two verifications, three hits.
+	if st.Cache.PlanMisses != 2 || st.Cache.PlanHits != 3 {
+		t.Errorf("plan counters = %d hits / %d misses, want 3/2", st.Cache.PlanHits, st.Cache.PlanMisses)
+	}
+	if st.Cache.TraceMisses != 2 || st.Cache.TraceHits != 3 {
+		t.Errorf("trace counters = %d hits / %d misses, want 3/2", st.Cache.TraceHits, st.Cache.TraceMisses)
+	}
+}
+
+// TestSessionsShareModelCaches: two sessions over one Compiled share the
+// per-shape work — the second session's first request is already warm.
+func TestSessionsShareModelCaches(t *testing.T) {
+	b, err := BuildModel("CodeBERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSample(b, 64, 0.5, 41)
+	sessA := c.NewSession(SessionOptions{})
+	if _, _, err := sessA.InferSample(s); err != nil {
+		t.Fatal(err)
+	}
+	sessB := c.NewSession(SessionOptions{})
+	_, rep, err := sessB.InferSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PlanCacheHit {
+		t.Error("second session should reuse the first session's per-shape work")
+	}
+}
+
+func ExampleSession() {
+	b, _ := BuildModel("CodeBERT")
+	c, _ := Compile(b)
+	sess := c.NewSession(SessionOptions{Workers: 2})
+	samples := []Sample{NewSample(b, 64, 0.5, 1), NewSample(b, 64, 0.5, 2)}
+	results := sess.InferBatch(samples)
+	fmt.Println(len(results), results[0].Err == nil)
+	// Output: 2 true
+}
