@@ -9,6 +9,8 @@
 //	sod2 compile -model YOLO-V6         # fusion/plan/MVC summary
 //	sod2 run -model SkipNet -size 256   # execute one inference + report
 //	sod2 serve-bench -model BERT -requests 64 -workers 4
+//	sod2 lint -model YOLO-V6            # static verifier + lint diagnostics
+//	sod2 lint -model all                # every model (CI runs this)
 //	sod2 dot -model DGNet               # Graphviz rendering of the graph
 package main
 
@@ -29,7 +31,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|serve-bench|dot|export|classify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|serve-bench|lint|dot|export|classify> [flags]")
 	os.Exit(2)
 }
 
@@ -59,6 +61,8 @@ func main() {
 		runCmd(*modelName, *size, float32(*gate), *device)
 	case "serve-bench":
 		serveBenchCmd(*modelName, *device, *requests, *workers, *distinct)
+	case "lint":
+		lintCmd(*modelName)
 	case "dot":
 		withModel(*modelName, func(b *models.Builder) {
 			fmt.Print(b.Build().DOT())
@@ -101,6 +105,37 @@ func classifyCmd() {
 		for _, t := range byClass[c] {
 			fmt.Printf("  %s\n", t)
 		}
+	}
+}
+
+// lintCmd runs the static plan verifier + graph lint over one model (or
+// all of them) and prints the stable diagnostics report — the same text
+// the golden-snapshot tests pin. Exits non-zero when any Error-severity
+// diagnostic is found, so CI can gate on it.
+func lintCmd(name string) {
+	targets := models.All()
+	if name != "all" {
+		b, ok := models.Get(name)
+		if !ok {
+			fail(fmt.Errorf("unknown model %q", name))
+		}
+		targets = []*models.Builder{b}
+	}
+	errors := 0
+	for i, b := range targets {
+		if i > 0 {
+			fmt.Println()
+		}
+		_, rep, err := frameworks.CompileVerified(b)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Format())
+		errors += rep.Errors()
+	}
+	if errors > 0 {
+		fmt.Fprintf(os.Stderr, "sod2 lint: %d error-severity diagnostics\n", errors)
+		os.Exit(1)
 	}
 }
 
@@ -211,9 +246,14 @@ func serveBenchCmd(name, device string, requests, workers, distinct int) {
 	case "sd835-gpu":
 		dev = sod2.SD835GPU
 	}
-	c, err := sod2.Compile(b)
+	c, rep, err := sod2.CompileVerified(b)
 	if err != nil {
 		fail(err)
+	}
+	if rep.Mem.Proven {
+		fmt.Printf("static verify: memory plan proven over region — shape-family serving on\n")
+	} else {
+		fmt.Printf("static verify: unprovable (%s) — per-shape plan cache\n", rep.Mem.Reason)
 	}
 	if distinct < 1 {
 		distinct = 1
@@ -229,7 +269,7 @@ func serveBenchCmd(name, device string, requests, workers, distinct int) {
 	results := sess.InferBatch(stream)
 	wall := time.Since(start)
 
-	var failed, planHits int
+	var failed, planHits, regionHits int
 	worstTier := sod2.TierPlanned
 	for _, r := range results {
 		if r.Err != nil {
@@ -238,6 +278,9 @@ func serveBenchCmd(name, device string, requests, workers, distinct int) {
 		}
 		if r.Report.PlanCacheHit {
 			planHits++
+		}
+		if r.Report.RegionCacheHit {
+			regionHits++
 		}
 		if r.Report.FallbackTier > worstTier {
 			worstTier = r.Report.FallbackTier
@@ -248,6 +291,8 @@ func serveBenchCmd(name, device string, requests, workers, distinct int) {
 		name, dev.Name, requests, workers, distinct)
 	fmt.Printf("wall: %v   throughput: %.1f req/s   failed: %d   worst tier: %s\n",
 		wall.Round(time.Millisecond), float64(requests)/wall.Seconds(), failed, worstTier)
+	fmt.Printf("region plan: %d/%d request hits (one static proof serves every in-region shape)\n",
+		regionHits, requests-failed)
 	fmt.Printf("plan cache: %d/%d request hits (%d hits / %d misses cumulative, %d entries)\n",
 		planHits, requests-failed, st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.PlanEntries)
 	fmt.Printf("trace memo: %d hits / %d misses (%d entries)   coalesced in flight: %d\n",

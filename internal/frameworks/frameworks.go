@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/exec"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/mvc"
 	"repro/internal/plan"
 	"repro/internal/rdp"
+	"repro/internal/staticverify"
 	"repro/internal/workload"
 )
 
@@ -48,6 +50,11 @@ type Report struct {
 	// request's contract binding and verified memory plan (repeat shape:
 	// no re-verification was needed).
 	PlanCacheHit bool
+	// RegionCacheHit reports that the statically-proven shape-family plan
+	// served this request: its input shapes fell inside the verified
+	// region, so contract and plan re-verification were skipped entirely
+	// (even for a shape never seen before).
+	RegionCacheHit bool
 }
 
 // Engine is one execution framework.
@@ -97,6 +104,13 @@ type Compiled struct {
 
 	// plans is the shape-keyed compiled-plan cache (plancache.go).
 	plans planCache
+
+	// verifyMu serializes static verification; verified memoizes its
+	// report (verified.go). A proven report upgrades guarded runs to
+	// shape-family serving; regionHits counts requests it served.
+	verifyMu   sync.Mutex
+	verified   atomic.Pointer[staticverify.Report]
+	regionHits atomic.Uint64
 
 	// hotspotIdx maps nodes to their MVC hotspot entry (built once at
 	// compile time; mvcEff previously linear-scanned all hotspots per
@@ -217,6 +231,9 @@ func (c *Compiled) Invalidate() {
 	}
 	c.cacheMu.Unlock()
 	c.plans.purge()
+	// A mutated artifact invalidates the static proof; Verify() rebuilds
+	// it on demand.
+	c.verified.Store(nil)
 }
 
 // CacheStats reports the cumulative effectiveness of Compiled's runtime
@@ -227,6 +244,9 @@ type CacheStats struct {
 	// PlanHits/PlanMisses count shape-keyed plan-cache lookups made by
 	// guarded runs.
 	PlanHits, PlanMisses uint64
+	// RegionHits counts requests served by the statically-proven
+	// shape-family plan (no per-shape verification at all).
+	RegionHits uint64
 	// TraceEntries/PlanEntries are the current cache sizes.
 	TraceEntries, PlanEntries int
 }
@@ -241,6 +261,7 @@ func (c *Compiled) Stats() CacheStats {
 	}
 	c.cacheMu.Unlock()
 	st.PlanHits, st.PlanMisses, st.PlanEntries = c.plans.stats()
+	st.RegionHits = c.regionHits.Load()
 	return st
 }
 

@@ -53,6 +53,12 @@ type GuardReport struct {
 	// contract binding and verified memory plan, skipping
 	// re-verification for this request.
 	PlanCacheHit bool
+	// RegionCacheHit reports that the statically-proven shape-family plan
+	// served this request: the input shapes bound inside the verified
+	// region, so the region-wide worst-case plan applied with no
+	// per-shape contract or plan verification — including for shapes
+	// never seen before (Verify / CompileVerified path).
+	RegionCacheHit bool
 }
 
 // Contract returns the model's runtime contract: declared symbolic input
@@ -157,7 +163,22 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 	// shape-keyed plan cache when possible; MutatePlan (a test hook that
 	// edits the plan) forces the uncached path.
 	var outcome *planOutcome
+	// Shape-family fast path: when the static verifier proved the memory
+	// plan over the model's input region, any request binding inside the
+	// region is served with the proven worst-case plan — no fact/shape
+	// checks, no plan verification, no per-shape cache entry. Requests
+	// outside the region (or any bind failure) fall through to the
+	// per-shape path, which re-checks everything.
 	if opts.MutatePlan == nil {
+		if rep := c.verified.Load(); rep != nil && rep.Mem.Proven {
+			if env, err := c.Contract().BindInputs(inputs); err == nil && rep.Region.ContainsEnv(env) {
+				outcome = &planOutcome{env: env, plan: rep.Mem.Plan}
+				gr.RegionCacheHit = true
+				c.regionHits.Add(1)
+			}
+		}
+	}
+	if outcome == nil && opts.MutatePlan == nil {
 		if key, ok := c.planKey(inputs); ok {
 			outcome, gr.PlanCacheHit = c.plans.do(key, func() *planOutcome {
 				return c.buildPlanOutcome(inputs, nil)

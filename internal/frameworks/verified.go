@@ -1,0 +1,78 @@
+package frameworks
+
+import (
+	"repro/internal/models"
+	"repro/internal/staticverify"
+	"repro/internal/symbolic"
+)
+
+// CompileVerified runs the full compile pipeline and then the static
+// plan verifier: symbolic-range analysis over the model's input region,
+// execution-plan and liveness proofs, the region-wide memory-plan proof,
+// and the graph lint pass. When the memory plan is proven, subsequent
+// guarded runs whose input shapes fall inside the region are served from
+// the shape-family cache — one verification amortized over every shape
+// in the region (GuardReport.RegionCacheHit) — instead of the per-shape
+// plan cache. Unprovable models keep the per-shape behavior; the report
+// records why.
+func CompileVerified(b *models.Builder) (*Compiled, *staticverify.Report, error) {
+	c, err := Compile(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, c.Verify(), nil
+}
+
+// Verify runs (and memoizes) the static plan verifier over the compiled
+// model. Safe for concurrent use; Invalidate() drops the memo so a
+// mutated artifact is never served from a stale proof.
+func (c *Compiled) Verify() *staticverify.Report {
+	if r := c.verified.Load(); r != nil {
+		return r
+	}
+	c.verifyMu.Lock()
+	defer c.verifyMu.Unlock()
+	if r := c.verified.Load(); r != nil {
+		return r
+	}
+	name := c.Graph.Name
+	if c.Builder != nil {
+		name = c.Builder.Name
+	}
+	r := staticverify.Analyze(staticverify.Input{
+		Model:  name,
+		Graph:  c.Graph,
+		Infos:  c.Infos,
+		Order:  c.ExecPlan.Order,
+		Region: c.verifyRegion(),
+	})
+	c.verified.Store(r)
+	return r
+}
+
+// verifyRegion builds the input region the proofs quantify over: the
+// analyzed range/divisibility facts, plus singleton intervals for input
+// symbols the sampling spec pins to one value (SAM's prompt count) —
+// those never get facts, but the probe shows them constant, and the
+// serve-time membership test keeps the proof honest if a request ever
+// binds them differently.
+func (c *Compiled) verifyRegion() staticverify.Region {
+	region := staticverify.RegionFromFacts(c.Contract().Facts)
+	b := c.Builder
+	if b == nil || b.Inputs == nil || b.MinSize <= 0 || b.MaxSize < b.MinSize {
+		return region
+	}
+	step := b.SizeStep
+	if step <= 0 {
+		step = 1
+	}
+	maxAligned := b.MinSize + ((b.MaxSize-b.MinSize)/step)*step
+	lo := c.probeEnv(b.MinSize)
+	hi := c.probeEnv(maxAligned)
+	for sym, v := range lo {
+		if _, have := region[sym]; !have && hi != nil && hi[sym] == v {
+			region[sym] = symbolic.Point(v)
+		}
+	}
+	return region
+}

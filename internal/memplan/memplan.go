@@ -242,8 +242,24 @@ func Optimal(p *Program, maxN int) (*Plan, error) {
 	return best, nil
 }
 
+// OverlapError identifies the exact pair of buffers whose arena slots
+// collide while both are live: the buffer names, their byte ranges, and
+// the step range over which their lifetimes intersect.
+type OverlapError struct {
+	AName, BName     string
+	AOff, BOff       int64
+	ASize, BSize     int64
+	FromStep, ToStep int
+}
+
+func (e *OverlapError) Error() string {
+	return fmt.Sprintf("memplan: %s [%d,%d) overlaps %s [%d,%d) while both live (steps %d..%d)",
+		e.AName, e.AOff, e.AOff+e.ASize, e.BName, e.BOff, e.BOff+e.BSize, e.FromStep, e.ToStep)
+}
+
 // Validate checks that no two concurrently-live buffers overlap in the
-// arena — the safety invariant of any plan.
+// arena — the safety invariant of any plan. A violation comes back as an
+// *OverlapError naming the offending pair and the steps they collide on.
 func (pl *Plan) Validate(p *Program) error {
 	for i := 0; i < len(p.Bufs); i++ {
 		for j := i + 1; j < len(p.Bufs); j++ {
@@ -253,8 +269,19 @@ func (pl *Plan) Validate(p *Program) error {
 			}
 			ao, bo := pl.Offsets[a.Name], pl.Offsets[b.Name]
 			if ao < bo+b.Size && bo < ao+a.Size {
-				return fmt.Errorf("memplan: %s [%d,%d) overlaps %s [%d,%d) while both live",
-					a.Name, ao, ao+a.Size, b.Name, bo, bo+b.Size)
+				from, to := a.Birth, a.Death
+				if b.Birth > from {
+					from = b.Birth
+				}
+				if b.Death < to {
+					to = b.Death
+				}
+				return &OverlapError{
+					AName: a.Name, BName: b.Name,
+					AOff: ao, BOff: bo,
+					ASize: a.Size, BSize: b.Size,
+					FromStep: from, ToStep: to,
+				}
 			}
 		}
 	}

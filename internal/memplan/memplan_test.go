@@ -1,7 +1,9 @@
 package memplan
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -157,5 +159,37 @@ func TestEmptyProgram(t *testing.T) {
 	}
 	if plan, err := Optimal(p, 0); err != nil || plan.ArenaSize != 0 {
 		t.Error("optimal empty")
+	}
+}
+
+// The safety error must name the exact offending pair and the step range
+// over which the two buffers are simultaneously live — "offset conflict"
+// alone is not actionable in a diagnostic report.
+func TestValidateReportsOverlappingPair(t *testing.T) {
+	p := &Program{Steps: 4, Bufs: []Buf{
+		{Name: "early", Size: 64, Birth: 0, Death: 0},
+		{Name: "left", Size: 64, Birth: 1, Death: 3},
+		{Name: "right", Size: 64, Birth: 2, Death: 3},
+	}}
+	// Deliberately corrupt plan: left and right share offset 0.
+	pl := &Plan{Offsets: map[string]int64{"early": 0, "left": 0, "right": 32}, ArenaSize: 128}
+	err := pl.Validate(p)
+	if err == nil {
+		t.Fatal("overlapping plan validated")
+	}
+	var oe *OverlapError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OverlapError, got %T: %v", err, err)
+	}
+	if oe.AName != "left" || oe.BName != "right" {
+		t.Errorf("pair = (%s, %s), want (left, right)", oe.AName, oe.BName)
+	}
+	if oe.FromStep != 2 || oe.ToStep != 3 {
+		t.Errorf("overlap steps = %d..%d, want 2..3", oe.FromStep, oe.ToStep)
+	}
+	for _, want := range []string{"left", "right", "steps 2..3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
 	}
 }

@@ -1,0 +1,73 @@
+package staticverify
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// LifeInterval is a value's static live range in execution-step indices
+// (inclusive): produced at Birth, last used at Death.
+type LifeInterval struct {
+	Birth, Death int
+}
+
+// Liveness derives the def-use live interval of every value produced by
+// the order: Birth at the producing step, Death at the last consuming
+// step (graph outputs stay live through the final step; values never
+// consumed die at birth). These are exactly the intervals the memory
+// planner allocates with, and the intervals the instrumented-execution
+// property test compares against observed first/last touches.
+//
+// Def-use violations — a node consuming a value no step has produced, a
+// value produced twice — come back as "schedule" diagnostics; the
+// returned intervals then describe the first production only.
+func Liveness(g *graph.Graph, order []*graph.Node) (map[string]LifeInterval, []Diagnostic) {
+	live := make(map[string]LifeInterval)
+	var diags []Diagnostic
+	external := make(map[string]bool, len(g.Inputs)+len(g.Initializers))
+	for _, in := range g.Inputs {
+		external[in.Name] = true
+	}
+	for name := range g.Initializers {
+		external[name] = true
+	}
+	for step, n := range order {
+		for _, in := range n.Inputs {
+			if in == "" || external[in] {
+				continue
+			}
+			iv, born := live[in]
+			if !born {
+				diags = append(diags, Diagnostic{
+					Code: "schedule", Severity: Error, Node: n.Name, Value: in,
+					Detail: fmt.Sprintf("step %d consumes %q before any step produces it", step, in),
+				})
+				continue
+			}
+			iv.Death = step
+			live[in] = iv
+		}
+		for _, o := range n.Outputs {
+			if o == "" {
+				continue
+			}
+			if prev, dup := live[o]; dup {
+				diags = append(diags, Diagnostic{
+					Code: "schedule", Severity: Error, Node: n.Name, Value: o,
+					Detail: fmt.Sprintf("step %d re-produces %q (first produced at step %d)", step, o, prev.Birth),
+				})
+				continue
+			}
+			live[o] = LifeInterval{Birth: step, Death: step}
+		}
+	}
+	last := len(order) - 1
+	for _, o := range g.Outputs {
+		if iv, ok := live[o]; ok && iv.Death < last {
+			iv.Death = last
+			live[o] = iv
+		}
+	}
+	return live, diags
+}

@@ -1,0 +1,220 @@
+package staticverify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/guard"
+	"repro/internal/lattice"
+	"repro/internal/rdp"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+// seqModel builds a tiny [1, L, 8] MatMul→Relu chain with symbolic L.
+func seqModel(t *testing.T) (*graph.Graph, map[string]lattice.Info) {
+	t.Helper()
+	g := graph.New("m")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(
+		lattice.FromInt(1), lattice.FromExpr(symbolic.NewSym("L")), lattice.FromInt(8)))
+	g.AddInitializer("w", tensor.RandomFloats(tensor.NewRNG(1), 0.1, 8, 8))
+	g.Op("MatMul", "mm", []string{"x", "w"}, []string{"h"}, nil)
+	g.Op("Relu", "act", []string{"h"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res.Infos
+}
+
+func TestLivenessChain(t *testing.T) {
+	g, _ := seqModel(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, diags := Liveness(g, order)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if iv := live["h"]; iv.Birth != 0 || iv.Death != 1 {
+		t.Errorf("h interval = %+v, want [0,1]", iv)
+	}
+	// Graph output stays live through the final step.
+	if iv := live["y"]; iv.Birth != 1 || iv.Death != len(order)-1 {
+		t.Errorf("y interval = %+v, want [1,%d]", iv, len(order)-1)
+	}
+}
+
+func TestLivenessScheduleViolation(t *testing.T) {
+	g, _ := seqModel(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse the order: Relu consumes h before MatMul produces it.
+	rev := []*graph.Node{order[1], order[0]}
+	_, diags := Liveness(g, rev)
+	if len(diags) == 0 || diags[0].Code != "schedule" {
+		t.Fatalf("reversed order should raise a schedule diagnostic, got %v", diags)
+	}
+}
+
+func TestProveMemoryProven(t *testing.T) {
+	g, infos := seqModel(t)
+	order, _ := g.TopoSort()
+	region := Region{"L": symbolic.NewInterval(2, 16, 2)}
+	live, _ := Liveness(g, order)
+	v, diags := ProveMemory(g, infos, order, region, live)
+	if !v.Proven {
+		t.Fatalf("expected proven, got reason %q (diags %v)", v.Reason, diags)
+	}
+	if v.Plan == nil || v.Program == nil {
+		t.Fatal("proven verdict must carry the region plan")
+	}
+	// Worst-case sizing: both buffers are [1, L, 8] f32 at L=16.
+	for _, b := range v.Program.Bufs {
+		if b.Size != 1*16*8*4 {
+			t.Errorf("buffer %s sized %d, want %d", b.Name, b.Size, 1*16*8*4)
+		}
+	}
+	if err := v.Plan.Validate(v.Program); err != nil {
+		t.Errorf("region plan invalid: %v", err)
+	}
+}
+
+func TestProveMemoryUnprovable(t *testing.T) {
+	g, infos := seqModel(t)
+	order, _ := g.TopoSort()
+	live, _ := Liveness(g, order)
+
+	// Empty region: placed buffer sizes depend on L, which is unbounded.
+	v, diags := ProveMemory(g, infos, order, Region{}, live)
+	if v.Proven {
+		t.Fatal("empty region must be unprovable")
+	}
+	if v.Reason == "" {
+		t.Fatal("unprovable verdict must record a reason")
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "unprovable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unprovable verdict must emit an unprovable diagnostic, got %v", diags)
+	}
+}
+
+func TestProveMemoryNegativeDim(t *testing.T) {
+	// y = [1, L-8, 4]: negative for part of the region [2,16].
+	g := graph.New("neg")
+	L := symbolic.NewSym("L")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(
+		lattice.FromInt(1), lattice.FromExpr(L), lattice.FromInt(4)))
+	g.Op("Slice", "sl", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	infos := map[string]lattice.Info{
+		"x": {Shape: lattice.Ranked(lattice.FromInt(1), lattice.FromExpr(L), lattice.FromInt(4))},
+		"y": {Shape: lattice.Ranked(lattice.FromInt(1),
+			lattice.FromExpr(symbolic.Sub(L, symbolic.NewConst(8))), lattice.FromInt(4))},
+	}
+	order := g.Nodes
+	live, _ := Liveness(g, order)
+	v, diags := ProveMemory(g, infos, order, Region{"L": symbolic.NewInterval(2, 16, 2)}, live)
+	if v.Proven {
+		t.Fatal("possibly-negative dim must be unprovable")
+	}
+	hasNeg := false
+	for _, d := range diags {
+		if d.Code == "negative-dim" && d.Severity == Error {
+			hasNeg = true
+		}
+	}
+	if !hasNeg {
+		t.Fatalf("want negative-dim diagnostic, got %v", diags)
+	}
+}
+
+func TestRegionContainsEnv(t *testing.T) {
+	r := Region{"L": symbolic.NewInterval(32, 384, 1), "H": symbolic.NewInterval(224, 640, 32)}
+	if !r.ContainsEnv(symbolic.Env{"L": 100, "H": 256}) {
+		t.Error("member env rejected")
+	}
+	if r.ContainsEnv(symbolic.Env{"L": 100, "H": 250}) {
+		t.Error("off-stride H accepted")
+	}
+	if r.ContainsEnv(symbolic.Env{"L": 100}) {
+		t.Error("env missing a region symbol accepted")
+	}
+	// An empty region assumed nothing: its proofs hold for any binding.
+	if !(Region{}).ContainsEnv(symbolic.Env{"L": 1}) {
+		t.Error("empty region must admit vacuously")
+	}
+}
+
+func TestRegionFromFacts(t *testing.T) {
+	r := RegionFromFacts([]guard.Fact{
+		{Symbol: "H", Kind: guard.FactRange, Min: 224, Max: 640},
+		{Symbol: "H", Kind: guard.FactDivisible, Mod: 32, Rem: 0},
+		{Symbol: "L", Kind: guard.FactRange, Min: 32, Max: 384},
+	})
+	h := r["H"]
+	if h.Lo != 224 || h.Hi != 640 || h.Stride != 32 {
+		t.Errorf("H region = %s, want [224,640]/32", h)
+	}
+	if l := r["L"]; l.Lo != 32 || l.Hi != 384 || l.Stride != 1 {
+		t.Errorf("L region = %s, want [32,384]", l)
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	g := graph.New("lint")
+	L := symbolic.NewSym("L")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(
+		lattice.FromInt(1), lattice.FromExpr(L), lattice.FromInt(4)))
+	g.AddInitializer("c1", tensor.FromInts([]int64{1}, []int64{3}))
+	g.AddInitializer("c2", tensor.FromInts([]int64{1}, []int64{4}))
+	// Dead node: output never used.
+	g.Op("Relu", "deadRelu", []string{"x"}, []string{"unused"}, nil)
+	// Const-foldable: both inputs are initializers.
+	g.Op("Add", "foldme", []string{"c1", "c2"}, []string{"folded"}, nil)
+	g.Op("Relu", "keep", []string{"x"}, []string{"y"}, nil)
+	g.Op("Reshape", "rs", []string{"y", "folded"}, []string{"z"}, nil)
+	g.AddOutput("z")
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Lint(g, res.Infos, Region{"L": symbolic.NewInterval(2, 16, 1)})
+	want := map[string]bool{"dead-node": false, "const-foldable": false}
+	for _, d := range diags {
+		if _, tracked := want[d.Code]; tracked {
+			want[d.Code] = true
+		}
+	}
+	for code, got := range want {
+		if !got {
+			t.Errorf("missing %s diagnostic in %v", code, diags)
+		}
+	}
+}
+
+func TestAnalyzeFormatStable(t *testing.T) {
+	g, infos := seqModel(t)
+	rep := Analyze(Input{Model: "m", Graph: g, Infos: infos,
+		Region: Region{"L": symbolic.NewInterval(2, 16, 2)}})
+	a, b := rep.Format(), rep.Format()
+	if a != b {
+		t.Fatal("Format is not deterministic")
+	}
+	if !strings.Contains(a, "memory plan: proven") {
+		t.Errorf("report should prove the chain model:\n%s", a)
+	}
+	if !strings.Contains(a, "exec plan: proven") {
+		t.Errorf("exec plan should be proven:\n%s", a)
+	}
+}

@@ -1,0 +1,143 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(224, 640, 32)
+	if !iv.Contains(224) || !iv.Contains(256) || !iv.Contains(640) {
+		t.Errorf("members missing from %s", iv)
+	}
+	if iv.Contains(225) || iv.Contains(223) || iv.Contains(641) {
+		t.Errorf("non-members present in %s", iv)
+	}
+	if got := iv.Count(); got != 14 {
+		t.Errorf("Count() = %d, want 14", got)
+	}
+	if p := Point(5); !p.IsPoint() || !p.Contains(5) || p.Contains(4) {
+		t.Errorf("Point(5) misbehaves: %s", p)
+	}
+	// Hi normalizes to the last reachable member.
+	if iv := NewInterval(0, 10, 4); iv.Hi != 8 {
+		t.Errorf("NewInterval(0,10,4).Hi = %d, want 8", iv.Hi)
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := NewInterval(0, 100, 4)
+	b := NewInterval(6, 90, 6)
+	got := a.Intersect(b)
+	// Common members: multiples of 12 in [6..90] starting at 12.
+	if got.IsEmpty() || got.Lo != 12 || got.Stride != 12 || got.Hi != 84 {
+		t.Errorf("Intersect = %s, want [12,84]/12", got)
+	}
+	if r := Point(3).Intersect(Point(4)); !r.IsEmpty() {
+		t.Errorf("disjoint points intersect to %s", r)
+	}
+	if r := NewInterval(0, 10, 2).Intersect(NewInterval(1, 11, 2)); !r.IsEmpty() {
+		t.Errorf("odd/even progressions intersect to %s", r)
+	}
+}
+
+func TestIntervalOfExact(t *testing.T) {
+	H := NewSym("H")
+	env := map[string]Interval{"H": NewInterval(224, 640, 32)}
+
+	// H % 32 == 0 over the strided interval: exactly {0}.
+	iv, err := IntervalOf(Mod(H, NewConst(32)), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.IsPoint() || iv.Lo != 0 {
+		t.Errorf("H%%32 = %s, want {0}", iv)
+	}
+
+	// H // 32: exact progression [7, 20] step 1.
+	iv, err = IntervalOf(Div(H, NewConst(32)), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 7 || iv.Hi != 20 || iv.Stride != 1 {
+		t.Errorf("H//32 = %s, want [7,20]", iv)
+	}
+
+	// 3*H*H: [3*224*224, 3*640*640].
+	iv, err = IntervalOf(Mul(NewConst(3), H, H), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 3*224*224 || iv.Hi != 3*640*640 {
+		t.Errorf("3*H*H = %s", iv)
+	}
+}
+
+func TestIntervalOfErrors(t *testing.T) {
+	if _, err := IntervalOf(NewSym("Z"), map[string]Interval{}); err == nil {
+		t.Error("unbound symbol should error")
+	}
+	env := map[string]Interval{"a": NewInterval(-1, 1, 1)}
+	if _, err := IntervalOf(Div(NewConst(10), NewSym("a")), env); err == nil {
+		t.Error("divisor range containing zero should error")
+	}
+}
+
+// TestIntervalSoundness fuzzes random expressions over random strided
+// environments and asserts the bound always contains the concrete value.
+func TestIntervalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	syms := []string{"a", "b", "c"}
+	for trial := 0; trial < 2000; trial++ {
+		env := map[string]Interval{}
+		conc := Env{}
+		for _, s := range syms {
+			lo := int64(rng.Intn(40) - 10)
+			stride := int64(rng.Intn(5) + 1)
+			n := int64(rng.Intn(8))
+			iv := NewInterval(lo, lo+n*stride, stride)
+			env[s] = iv
+			conc[s] = iv.Lo + int64(rng.Intn(int(iv.Count())))*iv.Stride
+		}
+		e := randIvExpr(rng, syms, 3)
+		iv, err := IntervalOf(e, env)
+		if err != nil {
+			continue // divisor-may-be-zero etc: the verifier reports unprovable
+		}
+		v, err := e.Eval(conc)
+		if err != nil {
+			continue
+		}
+		if !iv.Contains(v) {
+			t.Fatalf("unsound bound: %s = %d under %v, interval %s (env %v)", e, v, conc, iv, env)
+		}
+	}
+}
+
+func randIvExpr(rng *rand.Rand, syms []string, depth int) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return NewConst(int64(rng.Intn(21) - 10))
+		}
+		return NewSym(syms[rng.Intn(len(syms))])
+	}
+	x := randIvExpr(rng, syms, depth-1)
+	y := randIvExpr(rng, syms, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return Add(x, y)
+	case 1:
+		return Sub(x, y)
+	case 2:
+		return Mul(x, y)
+	case 3:
+		return Div(x, NewConst(int64(rng.Intn(6)+1)))
+	case 4:
+		return Mod(x, NewConst(int64(rng.Intn(6)+1)))
+	default:
+		if rng.Intn(2) == 0 {
+			return Min(x, y)
+		}
+		return Max(x, y)
+	}
+}

@@ -1,0 +1,76 @@
+package sod2
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frameworks"
+	"repro/internal/models"
+)
+
+// -update rewrites the golden lint snapshots instead of diffing them:
+//
+//	go test -run TestLintGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden lint snapshots in testdata/lint/")
+
+// TestLintGolden pins `sod2 lint` output for all 10 evaluation models
+// against checked-in snapshots, so any verifier or lint regression — a
+// lost proof, a new diagnostic, a changed region — is visible in review
+// as a testdata diff.
+func TestLintGolden(t *testing.T) {
+	for _, b := range models.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, rep, err := frameworks.CompileVerified(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.Format()
+			path := filepath.Join("testdata", "lint", b.Name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (regenerate with `go test -run TestLintGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("lint output changed (regenerate with -update if intended):\n%s", diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl == gl {
+			continue
+		}
+		fmt.Fprintf(&b, "-%s\n+%s\n", wl, gl)
+	}
+	return b.String()
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/plan"
 	"repro/internal/rdp"
+	"repro/internal/staticverify"
 	"repro/internal/symbolic"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -83,6 +84,15 @@ type (
 	Tier = guard.Tier
 	// Fact is one analyzed input property (range or divisibility).
 	Fact = guard.Fact
+
+	// VerifyReport is the static plan verifier's result: execution-plan,
+	// liveness, and region-wide memory-plan proofs plus lint diagnostics.
+	VerifyReport = staticverify.Report
+	// Diagnostic is one structured lint/verifier finding.
+	Diagnostic = staticverify.Diagnostic
+	// ShapeRegion maps symbolic input dims to their analyzed strided
+	// intervals — the set of shapes a static proof covers.
+	ShapeRegion = staticverify.Region
 )
 
 // Execution tiers, fault sentinels, and hook points re-exported for
@@ -187,6 +197,25 @@ func Compile(b *ModelBuilder) (*Compiled, error) {
 	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, nil
 }
 
+// CompileVerified is Compile plus the static plan verifier. When the
+// verifier proves the memory plan over the model's whole input region,
+// every subsequent inference whose input shapes fall inside the region
+// is served with the proven shape-family plan and skips per-shape
+// contract and plan verification (Report.RegionCacheHit) — even for
+// shapes never seen before. Unprovable models keep per-shape caching;
+// the report's diagnostics record why.
+func CompileVerified(b *ModelBuilder) (*Compiled, *VerifyReport, error) {
+	c, rep, err := frameworks.CompileVerified(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, rep, nil
+}
+
+// Verify runs (and memoizes) the static plan verifier over the compiled
+// model, enabling the shape-family serving path when the proofs succeed.
+func (c *Compiled) Verify() *VerifyReport { return c.inner.Verify() }
+
 // Graph returns the compiled model's graph.
 func (c *Compiled) Graph() *Graph { return c.inner.Graph }
 
@@ -234,6 +263,7 @@ func (c *Compiled) inferSample(s Sample, dev Device, gopts GuardOptions) (map[st
 		rep.FallbackTier = gr.Tier
 	}
 	rep.PlanCacheHit = gr.PlanCacheHit
+	rep.RegionCacheHit = gr.RegionCacheHit
 	rep.Degradations = append(gr.Degradations, rep.Degradations...)
 	if gr.ReplanMS > 0 {
 		if rep.Phases == nil {
