@@ -15,16 +15,21 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/frameworks"
+	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/ops"
 	"repro/internal/rdp"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 
 	sod2 "repro"
@@ -48,6 +53,10 @@ func main() {
 	requests := fs.Int("requests", 64, "serve-bench: total requests to issue")
 	workers := fs.Int("workers", 4, "serve-bench: concurrent workers")
 	distinct := fs.Int("distinct", 8, "serve-bench: distinct samples cycled through the request stream")
+	maxConc := fs.Int("max-concurrent", 0, "serve-bench: admission concurrency cap (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "serve-bench: bounded admission queue past the concurrency cap")
+	deadline := fs.Duration("deadline", 0, "serve-bench: per-request deadline (0 = none)")
+	faultEvery := fs.Int64("fault-every", 0, "serve-bench: inject a kernel fault every Nth launch (0 = off; exercises retry/breaker/quarantine)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -60,7 +69,8 @@ func main() {
 	case "run":
 		runCmd(*modelName, *size, float32(*gate), *device)
 	case "serve-bench":
-		serveBenchCmd(*modelName, *device, *requests, *workers, *distinct)
+		serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
+			*maxConc, *maxQueue, *deadline, *faultEvery)
 	case "lint":
 		lintCmd(*modelName)
 	case "dot":
@@ -231,8 +241,12 @@ func runCmd(name string, size int64, gate float32, device string) {
 
 // serveBenchCmd drives the concurrent serving facade: `requests`
 // inferences cycled over `distinct` samples, fanned out over `workers`
-// goroutines, with the shape-keyed plan cache and request coalescing on.
-func serveBenchCmd(name, device string, requests, workers, distinct int) {
+// goroutines, with the shape-keyed plan cache, request coalescing, and
+// the resilience layer (admission gate, deadline, retry ladder, circuit
+// breaker) on. -fault-every injects periodic kernel faults so the
+// breaker/quarantine counters move.
+func serveBenchCmd(name, device string, requests, workers, distinct,
+	maxConc, maxQueue int, deadline time.Duration, faultEvery int64) {
 	b, ok := models.Get(name)
 	if !ok {
 		fail(fmt.Errorf("unknown model %q", name))
@@ -264,16 +278,44 @@ func serveBenchCmd(name, device string, requests, workers, distinct int) {
 		stream[i] = pool[i%distinct]
 	}
 
-	sess := c.NewSession(sod2.SessionOptions{Device: dev, Workers: workers})
+	opts := sod2.SessionOptions{
+		Device:  dev,
+		Workers: workers,
+		Admission: sod2.AdmissionConfig{
+			MaxConcurrent: maxConc,
+			MaxQueue:      maxQueue,
+		},
+		Retry:          sod2.RetryPolicy{MaxAttempts: 2},
+		RequestTimeout: deadline,
+	}
+	var hooks *exec.Hooks
+	if faultEvery > 0 {
+		var launches atomic.Int64
+		hooks = &exec.Hooks{PreKernel: func(n *graph.Node, _ []*tensor.Tensor) error {
+			if launches.Add(1)%faultEvery == 0 {
+				return fmt.Errorf("serve-bench: injected kernel fault at %s", n.Name)
+			}
+			return nil
+		}}
+		opts.Hooks = hooks
+	}
+	sess := c.NewSession(opts)
 	start := time.Now()
 	results := sess.InferBatch(stream)
 	wall := time.Since(start)
 
-	var failed, planHits, regionHits int
+	var failed, shed, cancelled, planHits, regionHits int
 	worstTier := sod2.TierPlanned
 	for _, r := range results {
 		if r.Err != nil {
-			failed++
+			switch {
+			case errors.Is(r.Err, sod2.ErrOverloaded):
+				shed++
+			case r.Cancelled:
+				cancelled++
+			default:
+				failed++
+			}
 			continue
 		}
 		if r.Report.PlanCacheHit {
@@ -286,15 +328,22 @@ func serveBenchCmd(name, device string, requests, workers, distinct int) {
 			worstTier = r.Report.FallbackTier
 		}
 	}
+	served := requests - failed - shed - cancelled
 	st := sess.Stats()
 	fmt.Printf("model=%s device=%s requests=%d workers=%d distinct=%d\n",
 		name, dev.Name, requests, workers, distinct)
-	fmt.Printf("wall: %v   throughput: %.1f req/s   failed: %d   worst tier: %s\n",
-		wall.Round(time.Millisecond), float64(requests)/wall.Seconds(), failed, worstTier)
+	fmt.Printf("wall: %v   throughput: %.1f req/s   failed: %d   shed: %d   cancelled: %d   worst tier: %s\n",
+		wall.Round(time.Millisecond), float64(requests)/wall.Seconds(), failed, shed, cancelled, worstTier)
 	fmt.Printf("region plan: %d/%d request hits (one static proof serves every in-region shape)\n",
-		regionHits, requests-failed)
+		regionHits, served)
 	fmt.Printf("plan cache: %d/%d request hits (%d hits / %d misses cumulative, %d entries)\n",
-		planHits, requests-failed, st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.PlanEntries)
+		planHits, served, st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.PlanEntries)
 	fmt.Printf("trace memo: %d hits / %d misses (%d entries)   coalesced in flight: %d\n",
 		st.Cache.TraceHits, st.Cache.TraceMisses, st.Cache.TraceEntries, st.Coalesced)
+	fmt.Printf("health: %s   breaker: %d faults / %d successes, %d trips, reverify %d pass / %d fail\n",
+		st.Health, st.Breaker.Faults, st.Breaker.Successes, st.Breaker.Trips,
+		st.Breaker.ReverifyPass, st.Breaker.ReverifyFail)
+	fmt.Printf("admission: %d admitted, %d shed (%d concurrency / %d memory), %d abandoned   retries: %d\n",
+		st.Admission.Admitted, st.Admission.Shed(), st.Admission.ShedConcurrency,
+		st.Admission.ShedMemory, st.Admission.Abandoned, st.Retries)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -33,6 +34,11 @@ const (
 	// NaNCorruption overwrites one element of the k-th kernel's first
 	// output with NaN (silent-corruption test).
 	NaNCorruption
+	// KernelStall sleeps Delay inside the k-th kernel launch (slow-kernel
+	// mode): the kernel completes correctly but late, so request
+	// deadlines and watchdog paths are exercisable — the executor's
+	// between-node context check fires on the node after the stall.
+	KernelStall
 )
 
 // String names the mode for test labels.
@@ -46,6 +52,8 @@ func (m Mode) String() string {
 		return "alloc-oom"
 	case NaNCorruption:
 		return "nan-corruption"
+	case KernelStall:
+		return "kernel-stall"
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -65,6 +73,9 @@ type Injector struct {
 	// let the guarded runtime's retry succeed, which is exactly the
 	// degradation path the chaos suite exercises.
 	Repeat bool
+	// Delay is how long a KernelStall sleeps (default 10ms). Other modes
+	// ignore it.
+	Delay time.Duration
 
 	kernels atomic.Int64
 	allocs  atomic.Int64
@@ -135,6 +146,18 @@ func (in *Injector) Hooks() *exec.Hooks {
 			idx := in.allocs.Add(1) - 1
 			if in.arm(idx) {
 				return fmt.Errorf("%w: %w at allocation %d (%s)", ErrInjected, exec.ErrArenaExhausted, idx, name)
+			}
+			return nil
+		}
+	case KernelStall:
+		h.PreKernel = func(n *graph.Node, _ []*tensor.Tensor) error {
+			idx := in.kernels.Add(1) - 1
+			if in.arm(idx) {
+				d := in.Delay
+				if d <= 0 {
+					d = 10 * time.Millisecond
+				}
+				time.Sleep(d)
 			}
 			return nil
 		}

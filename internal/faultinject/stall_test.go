@@ -1,0 +1,63 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/frameworks"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// TestStallCompletesWithoutDeadline pins the injector's contract: a
+// stalled kernel is slow, not wrong. With no deadline the inference
+// completes on the planned tier with correct outputs, and the wall
+// clock shows the stall really happened.
+func TestStallCompletesWithoutDeadline(t *testing.T) {
+	b, _ := models.Get("CodeBERT")
+	c, err := frameworks.Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(tensor.NewRNG(11), 64, 0.5)
+	inj := New(KernelStall, 0)
+	inj.Delay = 30 * time.Millisecond
+	start := time.Now()
+	_, gr, err := c.GuardedRun(inputs, frameworks.GuardOptions{Hooks: inj.Hooks()})
+	if err != nil {
+		t.Fatalf("stalled run must still complete: %v", err)
+	}
+	if !inj.Fired() {
+		t.Fatal("stall never fired")
+	}
+	if len(gr.Degradations) != 0 {
+		t.Errorf("a stall is not a fault; degradations: %+v", gr.Degradations)
+	}
+	if wall := time.Since(start); wall < inj.Delay {
+		t.Errorf("wall clock %v shorter than injected stall %v", wall, inj.Delay)
+	}
+}
+
+// TestStallTripsDeadline drives the deadline path: a persistent stall
+// slower than the request deadline must surface context.DeadlineExceeded
+// through the executor's between-node cancellation check — fail-fast,
+// not a hang.
+func TestStallTripsDeadline(t *testing.T) {
+	b, _ := models.Get("CodeBERT")
+	c, err := frameworks.Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(tensor.NewRNG(11), 64, 0.5)
+	inj := New(KernelStall, 0)
+	inj.Repeat = true
+	inj.Delay = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _, err = c.GuardedRun(inputs, frameworks.GuardOptions{Ctx: ctx, Hooks: inj.Hooks()})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -108,8 +108,11 @@ type Compiled struct {
 	// verifyMu serializes static verification; verified memoizes its
 	// report (verified.go). A proven report upgrades guarded runs to
 	// shape-family serving; regionHits counts requests it served.
+	// verifyGen is bumped by Invalidate so a verification that was in
+	// flight across an invalidation cannot resurrect its stale proof.
 	verifyMu   sync.Mutex
 	verified   atomic.Pointer[staticverify.Report]
+	verifyGen  atomic.Uint64
 	regionHits atomic.Uint64
 
 	// hotspotIdx maps nodes to their MVC hotspot entry (built once at
@@ -232,8 +235,21 @@ func (c *Compiled) Invalidate() {
 	c.cacheMu.Unlock()
 	c.plans.purge()
 	// A mutated artifact invalidates the static proof; Verify() rebuilds
-	// it on demand.
+	// it on demand. The generation bump precedes the drop so an Analyze
+	// that was already running cannot store its stale report afterwards.
+	c.verifyGen.Add(1)
 	c.verified.Store(nil)
+}
+
+// PlannedArenaBytes returns the statically proven worst-case arena
+// footprint for the model's whole input region, or 0 when no proof is
+// currently held. The serving layer's admission controller uses it as
+// the per-request memory reservation estimate.
+func (c *Compiled) PlannedArenaBytes() int64 {
+	if r := c.verified.Load(); r != nil && r.Mem.Proven {
+		return r.Mem.ArenaSize
+	}
+	return 0
 }
 
 // CacheStats reports the cumulative effectiveness of Compiled's runtime

@@ -34,6 +34,14 @@ type GuardOptions struct {
 	// Strict turns degradations into errors: any contract violation
 	// fails the inference instead of falling back.
 	Strict bool
+	// ForceDynamic starts the run on the dynamic fallback tier: the
+	// planned arena and the shape-family fast path are not consulted.
+	// This is the circuit breaker's quarantine/probation serving mode —
+	// the plan is distrusted until re-verification passes, but requests
+	// still complete (contract checking and kernel containment stay on).
+	// The forced fallback is recorded as a KindQuarantine degradation,
+	// never escalated to an error by Strict (the caller asked for it).
+	ForceDynamic bool
 	// SkipFiniteCheck disables the output NaN/Inf scan.
 	SkipFiniteCheck bool
 }
@@ -169,7 +177,7 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 	// checks, no plan verification, no per-shape cache entry. Requests
 	// outside the region (or any bind failure) fall through to the
 	// per-shape path, which re-checks everything.
-	if opts.MutatePlan == nil {
+	if opts.MutatePlan == nil && !opts.ForceDynamic {
 		if rep := c.verified.Load(); rep != nil && rep.Mem.Proven {
 			if env, err := c.Contract().BindInputs(inputs); err == nil && rep.Region.ContainsEnv(env) {
 				outcome = &planOutcome{env: env, plan: rep.Mem.Plan}
@@ -214,6 +222,13 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 			}
 			degrade(ce.Error(), ce.Kind, guard.TierDynamic)
 		}
+	}
+
+	// Quarantined plan: the caller distrusts the planned tier outright.
+	// Only sound bindings reach here still planned; degraded tiers keep
+	// their (stronger) fallback.
+	if opts.ForceDynamic && gr.Tier == guard.TierPlanned {
+		degrade("plan quarantined by circuit breaker", guard.KindQuarantine, guard.TierDynamic)
 	}
 
 	// Interpret the plan-side verdicts (only meaningful when the binding

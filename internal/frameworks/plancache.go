@@ -44,8 +44,15 @@ type planOutcome struct {
 // planCache memoizes planOutcomes by input-shape key with singleflight
 // dedup: N goroutines missing on the same cold shape verify once.
 // The zero value is ready to use.
+//
+// Invalidation is generation-aware: purge() bumps the generation and
+// orphans every in-flight verification, so an outcome computed against
+// the pre-invalidation artifact is never inserted into the freshly
+// purged cache, and callers blocked on an orphaned flight re-verify
+// instead of adopting the stale outcome.
 type planCache struct {
 	mu       sync.Mutex
+	gen      uint64
 	outcomes *lruCache[string, *planOutcome]
 	inflight map[string]*planFlight
 }
@@ -53,52 +60,82 @@ type planCache struct {
 type planFlight struct {
 	done    chan struct{}
 	outcome *planOutcome
+	// stale is set by purge(): the flight was verifying against an
+	// artifact that has since been invalidated. Its outcome must not be
+	// cached, and waiters must re-verify.
+	stale bool
 }
 
 // do returns the outcome for key, computing it via build at most once
 // across concurrent callers. The bool reports whether the outcome came
 // from the cache (true) or was computed/awaited by this call (false).
 func (pc *planCache) do(key string, build func() *planOutcome) (*planOutcome, bool) {
-	pc.mu.Lock()
-	if pc.outcomes == nil {
-		pc.outcomes = newLRU[string, *planOutcome](planCacheCap)
-	}
-	// Counter semantics: a miss is one real verification; joining an
-	// in-flight verification is a hit (served without re-verifying).
-	if o, ok := pc.outcomes.GetNoCount(key); ok {
-		pc.outcomes.noteHit()
+	for {
+		pc.mu.Lock()
+		if pc.outcomes == nil {
+			pc.outcomes = newLRU[string, *planOutcome](planCacheCap)
+		}
+		// Counter semantics: a miss is one real verification; joining an
+		// in-flight verification is a hit (served without re-verifying).
+		if o, ok := pc.outcomes.GetNoCount(key); ok {
+			pc.outcomes.noteHit()
+			pc.mu.Unlock()
+			return o, true
+		}
+		if fl, ok := pc.inflight[key]; ok {
+			pc.outcomes.noteHit()
+			pc.mu.Unlock()
+			<-fl.done
+			pc.mu.Lock()
+			stale := fl.stale
+			pc.mu.Unlock()
+			if stale {
+				// The cache was invalidated while this flight was being
+				// verified; its outcome describes the old artifact.
+				continue
+			}
+			return fl.outcome, false
+		}
+		pc.outcomes.noteMiss()
+		if pc.inflight == nil {
+			pc.inflight = map[string]*planFlight{}
+		}
+		fl := &planFlight{done: make(chan struct{})}
+		pc.inflight[key] = fl
+		startGen := pc.gen
 		pc.mu.Unlock()
-		return o, true
-	}
-	if fl, ok := pc.inflight[key]; ok {
-		pc.outcomes.noteHit()
+
+		fl.outcome = build()
+		pc.mu.Lock()
+		if pc.inflight[key] == fl {
+			delete(pc.inflight, key)
+		}
+		if pc.gen == startGen && !fl.stale {
+			pc.outcomes.Add(key, fl.outcome)
+		}
 		pc.mu.Unlock()
-		<-fl.done
+		close(fl.done)
+		// The builder returns its own outcome even when a purge raced it
+		// out of the cache — the verification really ran against the
+		// artifact this request was admitted under.
 		return fl.outcome, false
 	}
-	pc.outcomes.noteMiss()
-	if pc.inflight == nil {
-		pc.inflight = map[string]*planFlight{}
-	}
-	fl := &planFlight{done: make(chan struct{})}
-	pc.inflight[key] = fl
-	pc.mu.Unlock()
-
-	fl.outcome = build()
-	pc.mu.Lock()
-	delete(pc.inflight, key)
-	pc.outcomes.Add(key, fl.outcome)
-	pc.mu.Unlock()
-	close(fl.done)
-	return fl.outcome, false
 }
 
-// purge drops every cached outcome (counters survive).
+// purge drops every cached outcome and orphans in-flight verifications
+// (counters survive). Safe to call while flights are running: their
+// builders complete, but the stale outcomes are not cached and waiting
+// callers re-verify.
 func (pc *planCache) purge() {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	pc.gen++
 	if pc.outcomes != nil {
 		pc.outcomes.Purge()
+	}
+	for key, fl := range pc.inflight {
+		fl.stale = true
+		delete(pc.inflight, key)
 	}
 }
 

@@ -1,0 +1,164 @@
+package frameworks
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPlanCacheInvalidateDuringInflightCompile is the regression test
+// for the invalidate/singleflight race: purge() used to drop only the
+// cached outcomes, so a verification in flight across the invalidation
+// would (a) insert its stale outcome into the freshly purged cache and
+// (b) hand that stale outcome to every caller blocked on the flight.
+// Now purge orphans the flight: the blocked waiter re-verifies against
+// the post-invalidation artifact, and the stale outcome is never cached.
+func TestPlanCacheInvalidateDuringInflightCompile(t *testing.T) {
+	pc := &planCache{}
+	gate := make(chan struct{})
+	stale := &planOutcome{}
+	fresh := &planOutcome{}
+
+	// Leader: starts the verification, blocks on the gate.
+	leaderDone := make(chan *planOutcome, 1)
+	go func() {
+		o, _ := pc.do("k", func() *planOutcome {
+			<-gate
+			return stale
+		})
+		leaderDone <- o
+	}()
+	waitFor(t, "leader flight", func() bool {
+		pc.mu.Lock()
+		defer pc.mu.Unlock()
+		return len(pc.inflight) == 1
+	})
+
+	// Waiter: joins the in-flight verification.
+	waiterDone := make(chan *planOutcome, 1)
+	var waiterBuilds int32
+	var waiterMu sync.Mutex
+	go func() {
+		o, _ := pc.do("k", func() *planOutcome {
+			waiterMu.Lock()
+			waiterBuilds++
+			waiterMu.Unlock()
+			return fresh
+		})
+		waiterDone <- o
+	}()
+	// The waiter registers as a plan-cache hit (it joined a flight).
+	waitFor(t, "waiter to join", func() bool {
+		h, _, _ := pc.stats()
+		return h == 1
+	})
+
+	// Invalidate while the verification is in flight, then let it finish.
+	pc.purge()
+	close(gate)
+
+	// The leader keeps its own outcome: the verification really ran
+	// against the artifact its request was admitted under.
+	if o := <-leaderDone; o != stale {
+		t.Fatalf("leader got %p, want its own outcome %p", o, stale)
+	}
+	// The waiter must NOT adopt the orphaned outcome — it re-verifies
+	// and gets the fresh one.
+	if o := <-waiterDone; o != fresh {
+		t.Fatalf("waiter got stale outcome; want re-verified outcome")
+	}
+	waiterMu.Lock()
+	if waiterBuilds != 1 {
+		t.Fatalf("waiter builds = %d, want 1 (one re-verification)", waiterBuilds)
+	}
+	waiterMu.Unlock()
+
+	// And the cache must hold the post-invalidation outcome, not the
+	// stale one computed before the purge.
+	pc.mu.Lock()
+	got, ok := pc.outcomes.GetNoCount("k")
+	pc.mu.Unlock()
+	if !ok || got != fresh {
+		t.Fatalf("cache holds %p (ok=%v), want fresh outcome %p", got, ok, fresh)
+	}
+}
+
+// TestPlanCachePurgeWithNoInflight pins that purge on an idle cache
+// still drops cached outcomes and leaves the cache serviceable.
+func TestPlanCachePurgeWithNoInflight(t *testing.T) {
+	pc := &planCache{}
+	a := &planOutcome{}
+	if o, hit := pc.do("k", func() *planOutcome { return a }); o != a || hit {
+		t.Fatalf("first do: o=%p hit=%v", o, hit)
+	}
+	if o, hit := pc.do("k", func() *planOutcome { return nil }); o != a || !hit {
+		t.Fatalf("cached do: o=%p hit=%v", o, hit)
+	}
+	pc.purge()
+	b := &planOutcome{}
+	if o, hit := pc.do("k", func() *planOutcome { return b }); o != b || hit {
+		t.Fatalf("post-purge do: o=%p hit=%v, want rebuilt outcome", o, hit)
+	}
+}
+
+// TestVerifyInvalidateConcurrent hammers Verify/Invalidate/GuardedRun
+// concurrently: the generation guard must never resurrect a proof
+// dropped by Invalidate into the region fast path, and the run must be
+// data-race free (the suite runs under -race in CI). Terminal state:
+// after a final Verify, the proof serves again.
+func TestVerifyInvalidateConcurrent(t *testing.T) {
+	b, _ := models.Get("CodeBERT")
+	c, _, err := CompileVerified(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PlannedArenaBytes() == 0 {
+		t.Fatal("expected a proven region plan for CodeBERT")
+	}
+	inputs := b.Inputs(tensor.NewRNG(7), 64, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch {
+				case g == 0:
+					c.Invalidate()
+				case g == 1:
+					c.Verify()
+				default:
+					if _, _, err := c.GuardedRun(inputs, GuardOptions{}); err != nil {
+						t.Errorf("guarded run: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Invalidate()
+	if got := c.PlannedArenaBytes(); got != 0 {
+		t.Fatalf("proof survived Invalidate: %d bytes", got)
+	}
+	if rep := c.Verify(); !rep.Mem.Proven {
+		t.Fatalf("re-verification failed: %s", rep.Mem.Reason)
+	}
+	if c.PlannedArenaBytes() == 0 {
+		t.Fatal("fresh proof not memoized")
+	}
+}

@@ -39,6 +39,7 @@ func (c *Compiled) Verify() *staticverify.Report {
 	if c.Builder != nil {
 		name = c.Builder.Name
 	}
+	gen := c.verifyGen.Load()
 	r := staticverify.Analyze(staticverify.Input{
 		Model:  name,
 		Graph:  c.Graph,
@@ -46,7 +47,11 @@ func (c *Compiled) Verify() *staticverify.Report {
 		Order:  c.ExecPlan.Order,
 		Region: c.verifyRegion(),
 	})
-	c.verified.Store(r)
+	// Memoize only if no Invalidate raced this analysis; a stale proof
+	// must not be resurrected into the region fast path.
+	if c.verifyGen.Load() == gen {
+		c.verified.Store(r)
+	}
 	return r
 }
 

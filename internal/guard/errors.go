@@ -75,6 +75,10 @@ const (
 	KindMemPlan ViolationKind = "memplan"
 	// KindBudget: the planned arena exceeds the configured byte budget.
 	KindBudget ViolationKind = "budget"
+	// KindQuarantine: the serving layer's circuit breaker has
+	// quarantined the model's plan; the run was forced onto the dynamic
+	// tier without consulting it.
+	KindQuarantine ViolationKind = "quarantine"
 	// KindNumeric: execution produced non-finite output values.
 	KindNumeric ViolationKind = "numeric"
 )

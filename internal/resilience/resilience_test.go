@@ -1,0 +1,398 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/guard"
+)
+
+// --- Admission ---------------------------------------------------------
+
+func TestAdmissionUnlimitedByDefault(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		rel, err := a.Admit(context.Background(), 1<<20)
+		if err != nil {
+			t.Fatalf("zero config must admit everything, got %v", err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := a.Stats().InFlight; got != 100 {
+		t.Fatalf("InFlight = %d, want 100", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if st := a.Stats(); st.InFlight != 0 || st.ReservedBytes != 0 {
+		t.Fatalf("after release: %+v, want zero in-flight/reserved", st)
+	}
+}
+
+func TestAdmissionShedsOnConcurrency(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2})
+	rel1, err1 := a.Admit(context.Background(), 0)
+	rel2, err2 := a.Admit(context.Background(), 0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("first two admits failed: %v %v", err1, err2)
+	}
+	_, err := a.Admit(context.Background(), 0)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third admit: err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Resource != "concurrency" {
+		t.Fatalf("err = %#v, want concurrency OverloadError", err)
+	}
+	rel1()
+	rel1() // idempotent
+	if rel3, err := a.Admit(context.Background(), 0); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	} else {
+		rel3()
+	}
+	rel2()
+	st := a.Stats()
+	if st.ShedConcurrency != 1 || st.Admitted != 3 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 1 shed / 3 admitted / 0 in flight", st)
+	}
+}
+
+func TestAdmissionBoundedQueue(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1})
+	rel, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One request may wait; it admits once the slot frees.
+	admitted := make(chan error, 1)
+	go func() {
+		rel2, err := a.Admit(context.Background(), 0)
+		if err == nil {
+			rel2()
+		}
+		admitted <- err
+	}()
+	// Wait until it is queued, then a third request must shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Admit(context.Background(), 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow request: err = %v, want ErrOverloaded", err)
+	}
+	rel()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+}
+
+func TestAdmissionQueueAbandonedOnCancel(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4})
+	rel, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(ctx, 0)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned admit: err = %v, want context.Canceled", err)
+	}
+	st := a.Stats()
+	if st.Queued != 0 || st.Abandoned != 1 {
+		t.Fatalf("stats = %+v, want 0 queued / 1 abandoned", st)
+	}
+}
+
+func TestAdmissionMemoryHeadroom(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MemoryBudget: 100})
+	rel1, err := a.Admit(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Admit(context.Background(), 60)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget admit: err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Resource != "memory" {
+		t.Fatalf("err = %#v, want memory OverloadError", err)
+	}
+	rel2, err := a.Admit(context.Background(), 40)
+	if err != nil {
+		t.Fatalf("within-budget admit: %v", err)
+	}
+	rel1()
+	rel2()
+	// A single estimate past the whole budget is still admitted when the
+	// ledger is empty (never permanently inadmissible).
+	rel3, err := a.Admit(context.Background(), 1000)
+	if err != nil {
+		t.Fatalf("oversized-but-first admit: %v", err)
+	}
+	rel3()
+	if got := a.Stats().ReservedBytes; got != 0 {
+		t.Fatalf("ReservedBytes = %d after all releases, want 0", got)
+	}
+}
+
+// --- RetryPolicy -------------------------------------------------------
+
+func TestRetryBackoffLadder(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if (RetryPolicy{}).Attempts() != 1 {
+		t.Error("zero policy must mean a single attempt")
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3}
+	opErr := &guard.OpError{Node: "n", Op: "MatMul", Cause: errors.New("boom")}
+	cases := []struct {
+		name string
+		err  error
+		tier guard.Tier
+		want bool
+	}{
+		{"kernel fault on planned tier", opErr, guard.TierPlanned, true},
+		{"kernel fault on dynamic tier", opErr, guard.TierDynamic, true},
+		{"kernel fault after replan", opErr, guard.TierReplan, false},
+		{"arena fault", fmt.Errorf("x: %w", exec.ErrArenaExhausted), guard.TierPlanned, true},
+		{"numeric contract", &guard.ContractError{Kind: guard.KindNumeric}, guard.TierPlanned, true},
+		{"bind contract", &guard.ContractError{Kind: guard.KindBind}, guard.TierPlanned, false},
+		{"input contract", &guard.ContractError{Kind: guard.KindInput}, guard.TierPlanned, false},
+		{"cancelled", fmt.Errorf("x: %w", context.Canceled), guard.TierPlanned, false},
+		{"deadline", fmt.Errorf("x: %w", context.DeadlineExceeded), guard.TierPlanned, false},
+		{"shed", &OverloadError{Resource: "concurrency"}, guard.TierPlanned, false},
+		{"nil", nil, guard.TierPlanned, false},
+	}
+	for _, c := range cases {
+		if got := p.Retryable(c.err, c.tier); got != c.want {
+			t.Errorf("%s: Retryable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if SleepCtx(ctx, time.Minute) {
+		t.Fatal("SleepCtx must abort on a cancelled context")
+	}
+	if !SleepCtx(context.Background(), 0) {
+		t.Fatal("zero sleep on a live context must report completion")
+	}
+}
+
+// --- Breaker -----------------------------------------------------------
+
+// tripRecorder wires a breaker to a controllable re-verification.
+type tripRecorder struct {
+	mu    sync.Mutex
+	calls int
+	b     *Breaker
+	pass  bool
+	sync  chan struct{} // each OnTrip sends one token after resolving
+}
+
+func (r *tripRecorder) onTrip() {
+	r.mu.Lock()
+	r.calls++
+	pass := r.pass
+	r.mu.Unlock()
+	r.b.ReverifyDone(pass)
+	r.sync <- struct{}{}
+}
+
+func newTripRecorder(cfg BreakerConfig, pass bool) (*Breaker, *tripRecorder) {
+	r := &tripRecorder{pass: pass, sync: make(chan struct{}, 16)}
+	cfg.OnTrip = r.onTrip
+	r.b = NewBreaker(cfg)
+	return r.b, r
+}
+
+func (r *tripRecorder) waitTrip(t *testing.T) {
+	t.Helper()
+	select {
+	case <-r.sync:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnTrip never fired")
+	}
+}
+
+func TestBreakerFullHealingCycle(t *testing.T) {
+	cfg := BreakerConfig{TripThreshold: 3, RecoverSuccesses: 2, ProbationSuccesses: 2}
+	b, rec := newTripRecorder(cfg, true)
+
+	if b.State() != Healthy || b.Advice() != ServePlanned {
+		t.Fatal("new breaker must be healthy, planned serving")
+	}
+	b.OnFailure()
+	if b.State() != Degraded {
+		t.Fatalf("after 1 fault: %v, want degraded", b.State())
+	}
+	if b.Advice() != ServePlanned {
+		t.Fatal("degraded must still serve planned")
+	}
+	b.OnFailure()
+	b.OnFailure()
+	rec.waitTrip(t)
+	// Reverify passed → probation, dynamic serving.
+	if st := b.State(); st != Probation {
+		t.Fatalf("after trip + passing reverify: %v, want probation", st)
+	}
+	if b.Advice() != ServeDynamic {
+		t.Fatal("probation must serve dynamic")
+	}
+	b.OnSuccess()
+	b.OnSuccess()
+	if b.State() != Healthy || b.Advice() != ServePlanned {
+		t.Fatalf("after probation successes: %v, want healthy", b.State())
+	}
+	st := b.Stats()
+	if st.Trips != 1 || st.ReverifyPass != 1 || st.Faults != 3 || st.Successes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerDegradedRecoversWithoutTrip(t *testing.T) {
+	b := NewBreaker(BreakerConfig{TripThreshold: 5, RecoverSuccesses: 2})
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnSuccess()
+	if b.State() != Healthy {
+		t.Fatalf("state = %v, want healthy", b.State())
+	}
+	if b.Stats().Trips != 0 {
+		t.Fatal("no trip expected")
+	}
+}
+
+func TestBreakerFailedReverifyStaysQuarantinedAndRefires(t *testing.T) {
+	cfg := BreakerConfig{TripThreshold: 2, ProbationSuccesses: 2}
+	b, rec := newTripRecorder(cfg, false)
+	b.OnFailure()
+	b.OnFailure()
+	rec.waitTrip(t)
+	if b.State() != Quarantined || b.Advice() != ServeDynamic {
+		t.Fatalf("after failing reverify: %v, want quarantined + dynamic", b.State())
+	}
+	// Sustained faults while quarantined re-fire the re-verification.
+	b.OnFailure()
+	b.OnFailure()
+	rec.waitTrip(t)
+	rec.mu.Lock()
+	calls := rec.calls
+	rec.mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("OnTrip calls = %d, want 2", calls)
+	}
+	// Now let it pass via sustained successes.
+	rec.mu.Lock()
+	rec.pass = true
+	rec.mu.Unlock()
+	b.OnSuccess()
+	b.OnSuccess()
+	rec.waitTrip(t)
+	if b.State() != Probation {
+		t.Fatalf("state = %v, want probation after clean traffic earns a passing reverify", b.State())
+	}
+}
+
+func TestBreakerProbationFaultReopens(t *testing.T) {
+	cfg := BreakerConfig{TripThreshold: 2, ProbationSuccesses: 3}
+	b, rec := newTripRecorder(cfg, true)
+	b.OnFailure()
+	b.OnFailure()
+	rec.waitTrip(t)
+	if b.State() != Probation {
+		t.Fatalf("state = %v, want probation", b.State())
+	}
+	b.OnSuccess()
+	b.OnFailure() // probation fault → re-open
+	rec.waitTrip(t)
+	if got := b.Stats().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	if b.State() != Probation { // second reverify passed again
+		t.Fatalf("state = %v, want probation", b.State())
+	}
+}
+
+func TestBreakerNilOnTripAutoPasses(t *testing.T) {
+	b := NewBreaker(BreakerConfig{TripThreshold: 1, ProbationSuccesses: 1})
+	b.OnFailure() // healthy → degraded
+	b.OnFailure() // degraded → trip → (auto-pass) probation
+	if b.State() != Probation {
+		t.Fatalf("state = %v, want probation", b.State())
+	}
+	b.OnSuccess()
+	if b.State() != Healthy {
+		t.Fatalf("state = %v, want healthy", b.State())
+	}
+}
+
+func TestBreakerConcurrentRecording(t *testing.T) {
+	b, rec := newTripRecorder(BreakerConfig{TripThreshold: 3, ProbationSuccesses: 4}, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if (g+i)%3 == 0 {
+					b.OnFailure()
+				} else {
+					b.OnSuccess()
+				}
+				b.Advice()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Faults+st.Successes != 8*200 {
+		t.Fatalf("recorded %d outcomes, want %d", st.Faults+st.Successes, 8*200)
+	}
+	_ = rec
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	want := map[HealthState]string{
+		Healthy: "healthy", Degraded: "degraded",
+		Quarantined: "quarantined", Probation: "probation",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), s)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// RetryPolicy is a bounded retry/backoff ladder for transient execution
+// faults. The zero value never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (<= 1: no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry (default 1ms when
+	// retries are enabled); each further retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the ladder (default 50ms).
+	MaxBackoff time.Duration
+}
+
+// Attempts normalizes MaxAttempts.
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the sleep before retrying after the attempt-th try
+// (attempt is 1-based: the first retry follows attempt 1).
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 50 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Retryable reports whether a failed attempt may be retried. Two rules
+// beyond fault classification:
+//
+//   - tier-awareness: a request that already degraded to the
+//     dynamic-replan tier is never retried — the replan was itself the
+//     recovery attempt, and its failure is not transient;
+//   - only execution faults retry (CountsAsFault): deterministic
+//     contract verdicts, cancellation, and sheds would fail identically.
+func (p RetryPolicy) Retryable(err error, tier guard.Tier) bool {
+	if tier >= guard.TierReplan {
+		return false
+	}
+	return CountsAsFault(err)
+}
+
+// SleepCtx sleeps d or until ctx ends, reporting whether the full sleep
+// completed.
+func SleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

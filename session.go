@@ -1,11 +1,17 @@
 package sod2
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/exec"
 	"repro/internal/frameworks"
+	"repro/internal/resilience"
 )
 
 // CacheStats snapshots a compiled model's runtime-cache effectiveness
@@ -13,9 +19,9 @@ import (
 type CacheStats = frameworks.CacheStats
 
 // Invalidate drops the compiled model's memoized runtime artifacts —
-// the (sample, policy) trace memo and the shape-keyed plan cache. Call
-// it between experiments, and after mutating any compiled artifact in
-// place. Cumulative hit/miss counters survive.
+// the (sample, policy) trace memo, the shape-keyed plan cache, and the
+// static region proof. Call it between experiments, and after mutating
+// any compiled artifact in place. Cumulative hit/miss counters survive.
 func (c *Compiled) Invalidate() { c.inner.Invalidate() }
 
 // CacheStats snapshots the compiled model's cache counters.
@@ -27,35 +33,76 @@ type SessionOptions struct {
 	Device Device
 	// Workers bounds InferBatch's fan-out (GOMAXPROCS when 0).
 	Workers int
-	// Guard options applied to every request (per-request context and
-	// hooks are not supported through a session; use InferGuarded).
+	// Guard options applied to every request.
 	ArenaBudget  int64
 	MaxLoopIters int64
 	Strict       bool
+	// Hooks are threaded into every request's executor (fault injection,
+	// tracing). The hooks are shared by all concurrent requests and must
+	// be safe for concurrent use.
+	Hooks *exec.Hooks
+
+	// Admission bounds concurrent work: a request past the concurrency
+	// semaphore's bounded queue, or whose planned arena estimate does not
+	// fit the memory budget's headroom, sheds with ErrOverloaded instead
+	// of queueing unboundedly. The zero value admits everything.
+	Admission resilience.AdmissionConfig
+	// Retry is the bounded retry/backoff ladder for transient execution
+	// faults. Tier-aware: a request that already degraded to the
+	// dynamic-replan tier is never retried. The zero value never retries.
+	Retry resilience.RetryPolicy
+	// Breaker tunes the per-model circuit breaker driving the health
+	// state machine (healthy → degraded → quarantined → probation →
+	// healthy). Zero fields take the breaker's defaults; the session
+	// installs its own OnTrip hook (plan quarantine + background
+	// re-verification) unless one is set explicitly.
+	Breaker resilience.BreakerConfig
+	// RequestTimeout bounds each request end to end — admission wait,
+	// every retry attempt, and backoff sleeps (0 = none). Per-call
+	// contexts (InferSampleCtx et al.) compose with it; whichever ends
+	// first cancels the request.
+	RequestTimeout time.Duration
 }
 
 // Session is the concurrent serving facade over one compiled model: any
 // number of goroutines may call InferConcurrent/InferSample/InferBatch
-// on one Session. The session owns nothing mutable beyond counters and
-// the in-flight request table — all shape-dependent memoization (plan
-// cache, arena pooling) lives on the shared Compiled, so several
-// Sessions over one model share those caches.
+// (or their Ctx variants) on one Session. The session owns the serving
+// policies — admission gate, retry ladder, and the circuit breaker's
+// health state — while all shape-dependent memoization (plan cache,
+// arena pooling) lives on the shared Compiled, so several Sessions over
+// one model share those caches (but each judges health on its own
+// traffic).
+//
+// Self-healing: execution faults (contained kernel panics/errors, arena
+// faults, numeric contract violations) feed the breaker. Enough
+// consecutive faults trip it: the cached plans and the static region
+// proof are invalidated, one re-verification runs in the background,
+// and requests serve through the dynamic fallback tier (recorded as a
+// KindQuarantine degradation) until the new proof passes and probation
+// traffic stays clean — then planned/region serving resumes.
 //
 // Requests carrying the same non-zero Sample.ID that are in flight at
 // the same time are coalesced: one guarded execution serves all of them
 // (the singleflight dedup of a hot request). Coalesced callers share the
-// output tensors and must treat them as read-only.
+// output tensors and must treat them as read-only; the executing
+// request's context governs the shared run.
 type Session struct {
 	c       *Compiled
 	dev     Device
 	workers int
 	gopts   GuardOptions
+	timeout time.Duration
+
+	adm   *resilience.Admission
+	brk   *resilience.Breaker
+	retry resilience.RetryPolicy
 
 	mu       sync.Mutex
 	inflight map[uint64]*inferFlight
 
 	requests  atomic.Uint64
 	coalesced atomic.Uint64
+	retries   atomic.Uint64
 }
 
 type inferFlight struct {
@@ -74,7 +121,7 @@ func (c *Compiled) NewSession(opts SessionOptions) *Session {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Session{
+	s := &Session{
 		c:       c,
 		dev:     opts.Device,
 		workers: opts.Workers,
@@ -82,18 +129,49 @@ func (c *Compiled) NewSession(opts SessionOptions) *Session {
 			ArenaBudget:  opts.ArenaBudget,
 			MaxLoopIters: opts.MaxLoopIters,
 			Strict:       opts.Strict,
+			Hooks:        opts.Hooks,
 		},
+		timeout:  opts.RequestTimeout,
+		adm:      resilience.NewAdmission(opts.Admission),
+		retry:    opts.Retry,
 		inflight: map[uint64]*inferFlight{},
 	}
+	brkCfg := opts.Breaker
+	if brkCfg.OnTrip == nil {
+		// Plan quarantine: drop the cached plans and the region proof the
+		// faulting requests were served from, then force exactly one
+		// re-verification. Probation serving starts only when the new
+		// proof passes; an unprovable verdict keeps the model quarantined
+		// on the dynamic tier (safe, just slower).
+		brkCfg.OnTrip = func() {
+			c.inner.Invalidate()
+			rep := c.inner.Verify()
+			s.brk.ReverifyDone(rep.Mem.Proven)
+		}
+	}
+	s.brk = resilience.NewBreaker(brkCfg)
+	return s
 }
+
+// Health reports the model's current serving health as judged by this
+// session's circuit breaker.
+func (s *Session) Health() resilience.HealthState { return s.brk.State() }
 
 // InferConcurrent executes one set of inputs under the session's device
 // and guard options. Safe to call from any number of goroutines; the
-// returned Report carries the cache-hit tier (PlanCacheHit) and any
-// degradations taken.
+// returned Report carries the cache-hit tier (PlanCacheHit,
+// RegionCacheHit) and any degradations taken.
 func (s *Session) InferConcurrent(inputs map[string]*Tensor) (map[string]*Tensor, Report, error) {
+	return s.InferConcurrentCtx(context.Background(), inputs)
+}
+
+// InferConcurrentCtx is InferConcurrent bounded by a context:
+// cancellation is honored while queued for admission, between retry
+// attempts, and between executed nodes (including inside If/Loop
+// bodies).
+func (s *Session) InferConcurrentCtx(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, Report, error) {
 	s.requests.Add(1)
-	return s.c.inferOn(inputs, s.dev, s.gopts)
+	return s.serve(ctx, Sample{Inputs: inputs})
 }
 
 // InferSample executes one workload sample. Samples with a non-zero ID
@@ -101,27 +179,87 @@ func (s *Session) InferConcurrent(inputs map[string]*Tensor) (map[string]*Tensor
 // submitting the same sample share one guarded execution (and its
 // outputs, which they must treat as read-only).
 func (s *Session) InferSample(sample Sample) (map[string]*Tensor, Report, error) {
+	return s.InferSampleCtx(context.Background(), sample)
+}
+
+// InferSampleCtx is InferSample bounded by a context. A coalesced
+// caller whose context ends while waiting abandons the shared flight
+// and returns its own context error; the execution itself runs under
+// the initiating request's context.
+func (s *Session) InferSampleCtx(ctx context.Context, sample Sample) (map[string]*Tensor, Report, error) {
 	if sample.ID == 0 {
-		return s.InferConcurrent(sample.Inputs)
+		return s.InferConcurrentCtx(ctx, sample.Inputs)
 	}
 	s.requests.Add(1)
 	s.mu.Lock()
 	if fl, ok := s.inflight[sample.ID]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
-		<-fl.done
-		return fl.out, fl.rep, fl.err
+		select {
+		case <-fl.done:
+			return fl.out, fl.rep, fl.err
+		case <-ctx.Done():
+			return nil, Report{}, fmt.Errorf("sod2: coalesced request abandoned: %w", ctx.Err())
+		}
 	}
 	fl := &inferFlight{done: make(chan struct{})}
 	s.inflight[sample.ID] = fl
 	s.mu.Unlock()
 
-	fl.out, fl.rep, fl.err = s.c.inferSample(sample, s.dev, s.gopts)
+	fl.out, fl.rep, fl.err = s.serve(ctx, sample)
 	s.mu.Lock()
 	delete(s.inflight, sample.ID)
 	s.mu.Unlock()
 	close(fl.done)
 	return fl.out, fl.rep, fl.err
+}
+
+// serve is the resilient request path every inference goes through:
+// deadline, admission, breaker-advised execution, tier-aware retries.
+func (s *Session) serve(ctx context.Context, sample Sample) (map[string]*Tensor, Report, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	// Admission: shed instead of queueing unboundedly. The reservation
+	// estimate is the statically proven worst-case arena footprint (0
+	// when no proof is held — the per-request ArenaBudget still bounds
+	// the run).
+	release, err := s.adm.Admit(ctx, s.c.inner.PlannedArenaBytes())
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer release()
+
+	for attempt := 1; ; attempt++ {
+		gopts := s.gopts
+		gopts.Ctx = ctx
+		if s.brk.Advice() == resilience.ServeDynamic {
+			// Quarantine/probation: the plan is distrusted until the
+			// breaker closes — serve on the dynamic fallback tier.
+			gopts.ForceDynamic = true
+		}
+		out, rep, err := s.c.inferSample(sample, s.dev, gopts)
+		if err == nil {
+			s.brk.OnSuccess()
+			return out, rep, nil
+		}
+		// Cancellation, deadline expiry, and deterministic contract
+		// verdicts are not plan faults; only execution faults count
+		// against the breaker (and only those are worth retrying).
+		if resilience.CountsAsFault(err) {
+			s.brk.OnFailure()
+		}
+		if attempt >= s.retry.Attempts() || !s.retry.Retryable(err, rep.FallbackTier) {
+			return nil, rep, err
+		}
+		s.retries.Add(1)
+		if !resilience.SleepCtx(ctx, s.retry.Backoff(attempt)) {
+			return nil, rep, fmt.Errorf("sod2: request expired during retry backoff (attempt %d, last error %v): %w",
+				attempt, err, ctx.Err())
+		}
+	}
 }
 
 // BatchResult is one request's outcome within an InferBatch fan-out.
@@ -134,12 +272,24 @@ type BatchResult struct {
 	Report Report
 	// Err is the request's failure, if any (other requests proceed).
 	Err error
+	// Cancelled reports that Err is the batch context ending (deadline
+	// or cancellation) rather than a model or admission failure — the
+	// sample itself was never refuted.
+	Cancelled bool
 }
 
 // InferBatch fans the samples out over the session's worker pool and
 // returns one result per sample, in submission order. A failed request
 // records its error without affecting the rest of the batch.
 func (s *Session) InferBatch(samples []Sample) []BatchResult {
+	return s.InferBatchCtx(context.Background(), samples)
+}
+
+// InferBatchCtx is InferBatch bounded by a context. When the context
+// ends mid-batch, in-flight samples return their cancellation and
+// not-yet-dispatched samples are marked without running; both carry
+// Cancelled=true, distinct from per-sample model errors.
+func (s *Session) InferBatchCtx(ctx context.Context, samples []Sample) []BatchResult {
 	results := make([]BatchResult, len(samples))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -152,36 +302,69 @@ func (s *Session) InferBatch(samples []Sample) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out, rep, err := s.InferSample(samples[i])
-				results[i] = BatchResult{Index: i, Outputs: out, Report: rep, Err: err}
+				out, rep, err := s.InferSampleCtx(ctx, samples[i])
+				results[i] = BatchResult{Index: i, Outputs: out, Report: rep, Err: err,
+					Cancelled: isCancellation(err)}
 			}
 		}()
 	}
 	for i := range samples {
-		jobs <- i
+		select {
+		case jobs <- i:
+			continue
+		case <-ctx.Done():
+		}
+		// Context ended before this sample was dispatched: mark it and
+		// everything after it cancelled without executing.
+		for j := i; j < len(samples); j++ {
+			results[j] = BatchResult{Index: j, Cancelled: true,
+				Err: fmt.Errorf("sod2: batch cancelled before dispatch: %w", ctx.Err())}
+		}
+		break
 	}
 	close(jobs)
 	wg.Wait()
 	return results
 }
 
-// SessionStats describes a session's request flow and the shared model
-// caches behind it.
+// isCancellation classifies a request error as context-driven.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// SessionStats describes a session's request flow, the serving health
+// the resilience layer maintains, and the shared model caches behind it.
 type SessionStats struct {
 	// Requests is the total number of requests submitted.
 	Requests uint64
 	// Coalesced counts requests served by joining an identical in-flight
 	// request instead of executing.
 	Coalesced uint64
+	// Retries counts retry attempts taken by the bounded backoff ladder
+	// (beyond first attempts).
+	Retries uint64
+	// Health is the model's current health state (breaker-judged).
+	Health resilience.HealthState
+	// Breaker snapshots the circuit breaker: cumulative faults and
+	// successes, trips, and re-verification outcomes.
+	Breaker resilience.BreakerStats
+	// Admission snapshots the overload gate: in-flight/queued counts,
+	// live arena-byte reservation, and shed counters.
+	Admission resilience.AdmissionStats
 	// Cache snapshots the shared Compiled's cache counters.
 	Cache CacheStats
 }
 
 // Stats snapshots the session counters.
 func (s *Session) Stats() SessionStats {
+	bs := s.brk.Stats()
 	return SessionStats{
 		Requests:  s.requests.Load(),
 		Coalesced: s.coalesced.Load(),
+		Retries:   s.retries.Load(),
+		Health:    bs.State,
+		Breaker:   bs,
+		Admission: s.adm.Stats(),
 		Cache:     s.c.CacheStats(),
 	}
 }

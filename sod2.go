@@ -35,6 +35,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/plan"
 	"repro/internal/rdp"
+	"repro/internal/resilience"
 	"repro/internal/staticverify"
 	"repro/internal/symbolic"
 	"repro/internal/tensor"
@@ -93,6 +94,32 @@ type (
 	// ShapeRegion maps symbolic input dims to their analyzed strided
 	// intervals — the set of shapes a static proof covers.
 	ShapeRegion = staticverify.Region
+
+	// AdmissionConfig bounds a session's concurrent work (semaphore +
+	// bounded queue + arena-byte budget); past capacity, requests shed
+	// with ErrOverloaded instead of queueing unboundedly.
+	AdmissionConfig = resilience.AdmissionConfig
+	// RetryPolicy is the bounded, fallback-tier-aware retry/backoff
+	// ladder a session applies to transient execution faults.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerConfig tunes the per-model circuit breaker and its health
+	// state machine (healthy → degraded → quarantined → probation).
+	BreakerConfig = resilience.BreakerConfig
+	// HealthState is a model's serving health as judged by the breaker.
+	HealthState = resilience.HealthState
+	// OverloadError is one shed request (errors.Is(err, ErrOverloaded)).
+	OverloadError = resilience.OverloadError
+	// AdmissionStats / BreakerStats snapshot the resilience layer.
+	AdmissionStats = resilience.AdmissionStats
+	BreakerStats   = resilience.BreakerStats
+)
+
+// Health states of the serving state machine, in healing order.
+const (
+	Healthy     = resilience.Healthy
+	Degraded    = resilience.Degraded
+	Quarantined = resilience.Quarantined
+	Probation   = resilience.Probation
 )
 
 // Execution tiers, fault sentinels, and hook points re-exported for
@@ -107,6 +134,8 @@ var (
 	ErrContract = guard.ErrContract
 	// ErrArenaExhausted reports an arena placement past the byte budget.
 	ErrArenaExhausted = exec.ErrArenaExhausted
+	// ErrOverloaded matches any admission shed (errors.Is).
+	ErrOverloaded = resilience.ErrOverloaded
 )
 
 // Device profiles used throughout the evaluation.
