@@ -57,6 +57,7 @@ func main() {
 	maxQueue := fs.Int("max-queue", 0, "serve-bench: bounded admission queue past the concurrency cap")
 	deadline := fs.Duration("deadline", 0, "serve-bench: per-request deadline (0 = none)")
 	faultEvery := fs.Int64("fault-every", 0, "serve-bench: inject a kernel fault every Nth launch (0 = off; exercises retry/breaker/quarantine)")
+	parallel := fs.Int("parallel", 0, "serve-bench: wavefront-parallel worker pool per request (0 = sequential)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -70,7 +71,7 @@ func main() {
 		runCmd(*modelName, *size, float32(*gate), *device)
 	case "serve-bench":
 		serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
-			*maxConc, *maxQueue, *deadline, *faultEvery)
+			*maxConc, *maxQueue, *deadline, *faultEvery, *parallel)
 	case "lint":
 		lintCmd(*modelName)
 	case "dot":
@@ -246,7 +247,7 @@ func runCmd(name string, size int64, gate float32, device string) {
 // breaker) on. -fault-every injects periodic kernel faults so the
 // breaker/quarantine counters move.
 func serveBenchCmd(name, device string, requests, workers, distinct,
-	maxConc, maxQueue int, deadline time.Duration, faultEvery int64) {
+	maxConc, maxQueue int, deadline time.Duration, faultEvery int64, parallel int) {
 	b, ok := models.Get(name)
 	if !ok {
 		fail(fmt.Errorf("unknown model %q", name))
@@ -269,6 +270,14 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 	} else {
 		fmt.Printf("static verify: unprovable (%s) — per-shape plan cache\n", rep.Mem.Reason)
 	}
+	if parallel > 0 {
+		if rep.Wave.Proven {
+			fmt.Printf("wavefront plan: proven (%d waves, max width %d, widened arena %d bytes) — parallel serving on\n",
+				rep.Wave.Waves, rep.Wave.MaxWidth, rep.Wave.ArenaSize)
+		} else {
+			fmt.Printf("wavefront plan: unproven (%s) — requests run sequentially\n", rep.Wave.Reason)
+		}
+	}
 	if distinct < 1 {
 		distinct = 1
 	}
@@ -285,8 +294,10 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 			MaxConcurrent: maxConc,
 			MaxQueue:      maxQueue,
 		},
-		Retry:          sod2.RetryPolicy{MaxAttempts: 2},
-		RequestTimeout: deadline,
+		Retry:           sod2.RetryPolicy{MaxAttempts: 2},
+		RequestTimeout:  deadline,
+		Parallel:        parallel > 0,
+		ParallelWorkers: parallel,
 	}
 	var hooks *exec.Hooks
 	if faultEvery > 0 {
@@ -304,7 +315,7 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 	results := sess.InferBatch(stream)
 	wall := time.Since(start)
 
-	var failed, shed, cancelled, planHits, regionHits int
+	var failed, shed, cancelled, planHits, regionHits, waveRuns int
 	worstTier := sod2.TierPlanned
 	for _, r := range results {
 		if r.Err != nil {
@@ -324,6 +335,9 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 		if r.Report.RegionCacheHit {
 			regionHits++
 		}
+		if r.Report.Wavefronts > 0 {
+			waveRuns++
+		}
 		if r.Report.FallbackTier > worstTier {
 			worstTier = r.Report.FallbackTier
 		}
@@ -336,6 +350,10 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 		wall.Round(time.Millisecond), float64(requests)/wall.Seconds(), failed, shed, cancelled, worstTier)
 	fmt.Printf("region plan: %d/%d request hits (one static proof serves every in-region shape)\n",
 		regionHits, served)
+	if parallel > 0 {
+		fmt.Printf("wavefront parallel: %d/%d requests ran parallel (%d workers per request)\n",
+			waveRuns, served, parallel)
+	}
 	fmt.Printf("plan cache: %d/%d request hits (%d hits / %d misses cumulative, %d entries)\n",
 		planHits, served, st.Cache.PlanHits, st.Cache.PlanMisses, st.Cache.PlanEntries)
 	fmt.Printf("trace memo: %d hits / %d misses (%d entries)   coalesced in flight: %d\n",

@@ -25,6 +25,7 @@ func main() {
 	samples := flag.Int("samples", 6, "input samples per model (paper uses 50)")
 	seed := flag.Uint64("seed", 20240427, "workload RNG seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parSnap := flag.String("parallel-snapshot", "", "write the wavefront-parallel JSON snapshot (BENCH_parallel.json) to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +33,20 @@ func main() {
 		return
 	}
 	s := bench.NewSuite(bench.Options{Samples: *samples, Seed: *seed, Out: os.Stdout})
+	if *parSnap != "" {
+		f, err := os.Create(*parSnap)
+		if err == nil {
+			err = s.WriteParallelSnapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sod2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := s.Run(*exp); err != nil {
 		fmt.Fprintf(os.Stderr, "sod2bench: %v\n", err)
 		os.Exit(1)

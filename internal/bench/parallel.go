@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/costmodel"
+	"repro/internal/frameworks"
+	"repro/internal/models"
+	"repro/internal/workload"
+)
+
+// parallelWorkerSweep is the worker-pool sizes the wavefront experiment
+// compares against sequential execution.
+var parallelWorkerSweep = []int{2, 4, 8}
+
+// ParallelRow is one model's sequential-vs-wavefront modeled latency.
+type ParallelRow struct {
+	Model string `json:"model"`
+	// Waves and MaxWidth summarize the static wave partition.
+	Waves    int `json:"waves"`
+	MaxWidth int `json:"max_width"`
+	// SequentialMS is the FullSoD2 modeled latency (avg over samples);
+	// ParallelMS[w] the wavefront makespan latency at w workers.
+	SequentialMS float64            `json:"sequential_ms"`
+	ParallelMS   map[string]float64 `json:"parallel_ms"`
+	// Speedup4 = SequentialMS / ParallelMS at 4 workers.
+	Speedup4 float64 `json:"speedup_4w"`
+}
+
+// ParallelSnapshot is the BENCH_parallel.json schema: the cost model's
+// sequential-vs-wavefront latency for every model. On a single-CPU host
+// the wall clock cannot show inter-op speedup, so the modeled makespan
+// ratio is the recorded measurement (see EXPERIMENTS.md).
+type ParallelSnapshot struct {
+	Device  string        `json:"device"`
+	Samples int           `json:"samples"`
+	Workers []int         `json:"workers"`
+	Rows    []ParallelRow `json:"rows"`
+}
+
+// Parallel runs the wavefront-parallel experiment: FullSoD2 sequential
+// vs. wavefront makespan latency per model, printed as a table.
+func (s *Suite) Parallel() error {
+	snap, err := s.parallelSnapshot()
+	if err != nil {
+		return err
+	}
+	s.printf("\n== Wavefront parallel: modeled latency, sequential vs per-wave LPT makespan (CPU) ==\n")
+	s.printf("%-18s | %5s | %5s | %9s |", "Model", "waves", "width", "seq ms")
+	for _, w := range snap.Workers {
+		s.printf(" %7dw |", w)
+	}
+	s.printf(" %7s\n", "x @4w")
+	for _, r := range snap.Rows {
+		s.printf("%-18s | %5d | %5d | %9.3f |", r.Model, r.Waves, r.MaxWidth, r.SequentialMS)
+		for _, w := range snap.Workers {
+			s.printf(" %8.3f |", r.ParallelMS[workerKey(w)])
+		}
+		s.printf(" %6.3fx\n", r.Speedup4)
+	}
+	s.printf("(speedup bounded by wave width: the SEP order minimizes peak memory, which serializes branches)\n")
+	return nil
+}
+
+// WriteParallelSnapshot writes the experiment's JSON snapshot (the
+// checked-in BENCH_parallel.json).
+func (s *Suite) WriteParallelSnapshot(w io.Writer) error {
+	snap, err := s.parallelSnapshot()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+func workerKey(w int) string { return strconv.Itoa(w) }
+
+func (s *Suite) parallelSnapshot() (*ParallelSnapshot, error) {
+	dev := costmodel.SD888CPU
+	snap := &ParallelSnapshot{Device: dev.Name, Samples: s.opts.Samples, Workers: parallelWorkerSweep}
+	for _, b := range models.All() {
+		c, err := s.model(b.Name)
+		if err != nil {
+			return nil, err
+		}
+		samples := workload.Samples(c.Builder, s.opts.Samples, s.opts.Seed)
+		seq, err := runEngine(frameworks.NewSoD2(frameworks.FullSoD2()), c, samples, dev)
+		if err != nil {
+			return nil, err
+		}
+		row := ParallelRow{Model: b.Name, SequentialMS: seq.avgLat(), ParallelMS: map[string]float64{}}
+		if wp := c.WavePlan; wp != nil {
+			row.Waves = wp.NumWaves()
+			row.MaxWidth = wp.MaxWidth
+		}
+		for _, w := range parallelWorkerSweep {
+			opts := frameworks.FullSoD2()
+			opts.ParallelWorkers = w
+			par, err := runEngine(frameworks.NewSoD2(opts), c, samples, dev)
+			if err != nil {
+				return nil, err
+			}
+			row.ParallelMS[workerKey(w)] = par.avgLat()
+			if w == 4 && par.avgLat() > 0 {
+				row.Speedup4 = seq.avgLat() / par.avgLat()
+			}
+		}
+		snap.Rows = append(snap.Rows, row)
+	}
+	return snap, nil
+}

@@ -1,0 +1,111 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+)
+
+func TestMakespan(t *testing.T) {
+	cases := []struct {
+		costs   []float64
+		workers int
+		want    float64
+	}{
+		{nil, 4, 0},
+		{[]float64{5}, 4, 5},
+		{[]float64{3, 3, 3, 3}, 1, 12}, // one machine: sum
+		{[]float64{3, 3, 3, 3}, 4, 3},  // perfect split
+		{[]float64{3, 3, 3, 3}, 2, 6},  // two machines, two each
+		{[]float64{7, 1, 1, 1}, 4, 7},  // dominated by the longest op
+		{[]float64{4, 3, 3, 2}, 2, 6},  // LPT: {4,2} vs {3,3}
+		{[]float64{2, 2}, 8, 2},        // workers clamp to job count
+	}
+	for _, c := range cases {
+		if got := Makespan(c.costs, c.workers); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Makespan(%v, %d) = %v, want %v", c.costs, c.workers, got, c.want)
+		}
+	}
+}
+
+func opEvent(name string) exec.OpEvent {
+	n := &graph.Node{Name: name, OpType: "Add", Attrs: map[string]graph.AttrValue{}}
+	return exec.OpEvent{
+		Node: n, OpType: "Add",
+		InShapes:  [][]int64{{1 << 16}, {1 << 16}},
+		OutShapes: [][]int64{{1 << 16}},
+		OutNames:  []string{name + ".y"},
+		OutBytes:  []int64{4 << 16},
+	}
+}
+
+func TestTraceCostParallelBounds(t *testing.T) {
+	d := SD888CPU
+	tr := traceOf(opEvent("a"), opEvent("b"), opEvent("c"), opEvent("d"))
+	// All four events in one wave.
+	oneWave := func(*graph.Node) int { return 0 }
+	seq := d.TraceCost(tr, TraceCostOptions{})
+
+	// workers=1 and nil waveOf are exactly sequential.
+	if got := d.TraceCostParallel(tr, TraceCostOptions{}, oneWave, 1); got != seq {
+		t.Errorf("workers=1: %v != sequential %v", got, seq)
+	}
+	if got := d.TraceCostParallel(tr, TraceCostOptions{}, nil, 8); got != seq {
+		t.Errorf("nil waveOf: %v != sequential %v", got, seq)
+	}
+
+	par := d.TraceCostParallel(tr, TraceCostOptions{}, oneWave, 4)
+	if par >= seq {
+		t.Errorf("4 workers over a width-4 wave should beat sequential: %v >= %v", par, seq)
+	}
+	// Identical ops split perfectly: the makespan is seq/4.
+	if math.Abs(par-seq/4) > 1e-9 {
+		t.Errorf("perfect split: %v, want %v", par, seq/4)
+	}
+
+	// Unscheduled events (wave -1) stay sequential.
+	solo := func(n *graph.Node) int {
+		if n.Name == "a" {
+			return 0
+		}
+		return -1
+	}
+	mixed := d.TraceCostParallel(tr, TraceCostOptions{}, solo, 4)
+	if mixed != seq {
+		t.Errorf("a solo wave plus sequential remainder must equal sequential: %v != %v", mixed, seq)
+	}
+
+	// More workers never increase the makespan.
+	prev := seq
+	for _, w := range []int{2, 3, 4, 8} {
+		cur := d.TraceCostParallel(tr, TraceCostOptions{}, oneWave, w)
+		if cur > prev+1e-9 {
+			t.Errorf("makespan grew from %v to %v at %d workers", prev, cur, w)
+		}
+		prev = cur
+	}
+}
+
+func TestTraceCostParallelSkipsAndGroups(t *testing.T) {
+	d := SD888CPU
+	oneWave := func(*graph.Node) int { return 0 }
+	skipped := opEvent("s")
+	skipped.Skipped = true
+	tr := traceOf(opEvent("a"), skipped)
+	seq := d.TraceCost(tr, TraceCostOptions{})
+	// A single live event: parallel equals sequential, and the skipped
+	// event contributes nothing to either.
+	if got := d.TraceCostParallel(tr, TraceCostOptions{}, oneWave, 4); got != seq {
+		t.Errorf("skipped event changed the makespan: %v != %v", got, seq)
+	}
+	// Fused-group dispatch dedup is mirrored from TraceCost.
+	tr2 := traceOf(opEvent("a"), opEvent("b"))
+	opts := TraceCostOptions{GroupOf: func(*graph.Node) int { return 1 }}
+	seqG := d.TraceCost(tr2, opts)
+	parG := d.TraceCostParallel(tr2, opts, func(*graph.Node) int { return -1 }, 4)
+	if parG != seqG {
+		t.Errorf("all-sequential waveOf with groups: %v != %v", parG, seqG)
+	}
+}

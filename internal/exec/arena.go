@@ -47,9 +47,13 @@ type Arena struct {
 	// of silently growing the footprint.
 	Budget int64
 	// HighWater is the highest byte actually touched by placements.
+	// Guarded by hwMu: the wavefront executor places same-wave outputs
+	// concurrently (into disjoint planned regions — the copies need no
+	// lock, but this max does).
 	HighWater int64
 
-	buf []float32
+	hwMu sync.Mutex
+	buf  []float32
 	// pooled marks arenas whose buf came from the size-class pool and
 	// must be returned via Release; cls is its pool class.
 	pooled bool
@@ -146,9 +150,11 @@ func (a *Arena) place(name string, t *tensor.Tensor) (*tensor.Tensor, error) {
 	if start+n > int64(len(a.buf)) {
 		return nil, fmt.Errorf("exec: %s [%d,%d) %w of %d floats", name, start, start+n, ErrArenaOverflow, int64(len(a.buf)))
 	}
+	a.hwMu.Lock()
 	if end > a.HighWater {
 		a.HighWater = end
 	}
+	a.hwMu.Unlock()
 	dst := a.buf[start : start+n]
 	copy(dst, t.F)
 	return &tensor.Tensor{DType: tensor.Float32, Shape: t.Shape, F: dst}, nil

@@ -86,10 +86,31 @@ type Options struct {
 	// the inference with the context's error.
 	Ctx context.Context
 	// Hooks, when non-nil, intercept kernel and allocation events.
+	// Under wavefront execution (Waves/Workers below) PreKernel and
+	// PostKernel run concurrently from pool workers and must be safe
+	// for concurrent use; OnAlloc stays sequential (wave barrier).
 	Hooks *Hooks
+	// Waves, when non-nil together with Workers > 1, partitions Order
+	// into contiguous dependency wavefronts (flattening Waves must
+	// reproduce Order exactly). The kernels of one wave run concurrently
+	// on a persistent worker pool; all bookkeeping (values, trace,
+	// liveness accounting, frees) happens sequentially in planned order
+	// at the wave barrier, so outputs and traces are bit-identical to
+	// sequential execution. If an Arena is set, its offsets must come
+	// from a wave-widened memory plan (memplan.WidenWaves) — per-step
+	// offsets may overlap across a wave.
+	Waves [][]*graph.Node
+	// Workers sizes the wavefront worker pool (<=1 disables it). Solo
+	// waves and control-flow ops run inline with the full budget as
+	// intra-op threads; a wave of width w gives each kernel
+	// max(1, Workers/w) intra-op threads.
+	Workers int
 }
 
-// subOptions derives the options an If/Loop body run inherits.
+// subOptions derives the options an If/Loop body run inherits. Waves and
+// Workers are intentionally dropped: wavefronts are planned for the top
+// level only, and control-flow bodies run sequentially inside their
+// (solo-wave) parent op.
 func (o Options) subOptions() Options {
 	return Options{
 		ExecuteAllBranches: o.ExecuteAllBranches,
@@ -125,6 +146,9 @@ type executor struct {
 	// the execute-all policy; Combine strips them (§2: "execution of all
 	// possible paths, and stripping out invalid results").
 	invalid map[string]bool
+	// soloThreads is the intra-op thread budget for kernels executed
+	// inline (solo waves get the whole worker budget); 0 means 1.
+	soloThreads int
 }
 
 func (ex *executor) run(inputs map[string]*tensor.Tensor) (*Result, error) {
@@ -164,12 +188,18 @@ func (ex *executor) run(inputs map[string]*tensor.Tensor) (*Result, error) {
 		ex.values[name] = t
 	}
 
-	for _, n := range order {
-		if err := ex.checkCtx(n); err != nil {
+	if len(ex.opts.Waves) > 0 && ex.opts.Workers > 1 {
+		if err := ex.runWaves(order); err != nil {
 			return nil, err
 		}
-		if err := ex.safeExec(n); err != nil {
-			return nil, err
+	} else {
+		for _, n := range order {
+			if err := ex.checkCtx(n); err != nil {
+				return nil, err
+			}
+			if err := ex.safeExec(n); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -209,9 +239,11 @@ func (ex *executor) safeExec(n *graph.Node) (err error) {
 	return ex.execNode(n)
 }
 
-// runKernel executes a node's kernel with hook interception and
-// per-kernel panic containment. Every failure surfaces as *guard.OpError.
-func (ex *executor) runKernel(n *graph.Node, in []*tensor.Tensor) (out []*tensor.Tensor, err error) {
+// runKernel executes a node's kernel with hook interception,
+// per-kernel panic containment, and an intra-op thread budget. Every
+// failure surfaces as *guard.OpError. Safe for concurrent use by wave
+// workers: it only reads executor state.
+func (ex *executor) runKernel(n *graph.Node, in []*tensor.Tensor, threads int) (out []*tensor.Tensor, err error) {
 	shapes := func() [][]int64 {
 		var s [][]int64
 		for _, t := range in {
@@ -233,7 +265,7 @@ func (ex *executor) runKernel(n *graph.Node, in []*tensor.Tensor) (out []*tensor
 			return nil, &guard.OpError{Node: n.Name, Op: n.OpType, InputShapes: shapes(), Cause: herr}
 		}
 	}
-	out, kerr := kernels.Run(n, in)
+	out, kerr := kernels.RunWithBudget(n, in, threads)
 	if kerr != nil {
 		return nil, &guard.OpError{Node: n.Name, Op: n.OpType, InputShapes: shapes(), Cause: kerr}
 	}
@@ -357,7 +389,11 @@ func (ex *executor) execNode(n *graph.Node) error {
 		ex.release(n)
 		return nil
 	}
-	out, err := ex.runKernel(n, in)
+	threads := ex.soloThreads
+	if threads < 1 {
+		threads = 1
+	}
+	out, err := ex.runKernel(n, in, threads)
 	if err != nil {
 		return err
 	}

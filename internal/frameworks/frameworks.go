@@ -55,6 +55,11 @@ type Report struct {
 	// region, so contract and plan re-verification were skipped entirely
 	// (even for a shape never seen before).
 	RegionCacheHit bool
+	// Wavefronts is the number of waves the request executed under the
+	// wavefront-parallel interpreter (0 = sequential execution), and
+	// ParallelWorkers the worker-pool size it ran with.
+	Wavefronts      int
+	ParallelWorkers int
 }
 
 // Engine is one execution framework.
@@ -88,6 +93,11 @@ type Compiled struct {
 	// NaiveOrder is the parallelism-first (BFS) schedule used as the
 	// "no execution planning" baseline.
 	NaiveOrder []*graph.Node
+	// WavePlan partitions ExecPlan.Order into dependency wavefronts for
+	// parallel execution (nil when the graph yields none, e.g. a build
+	// failure — serving then stays sequential). Like every other compiled
+	// artifact it is read-only after Compile.
+	WavePlan *plan.WavefrontPlan
 
 	// cacheMu guards traces and traceFlights.
 	cacheMu sync.Mutex
@@ -306,6 +316,13 @@ func Compile(b *models.Builder) (*Compiled, error) {
 	}
 	c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
 	c.NaiveOrder = plan.BFSOrder(g)
+	// Wavefront partition for parallel execution (§4.3 extended to
+	// inter-op scheduling). Failure is non-fatal: serving falls back to
+	// the sequential plan.
+	if wp, err := plan.BuildWavefronts(g, res.Infos, c.ExecPlan.Order,
+		plan.WavefrontOptions{Fusion: c.FusionRDP}); err == nil {
+		c.WavePlan = wp
+	}
 	c.compileSubgraphs()
 	c.buildHotspotIndex()
 	return c, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/exec"
@@ -44,6 +45,16 @@ type GuardOptions struct {
 	ForceDynamic bool
 	// SkipFiniteCheck disables the output NaN/Inf scan.
 	SkipFiniteCheck bool
+	// Parallel requests wavefront-parallel execution on the planned
+	// tier: kernels of each statically planned wave run concurrently on
+	// a worker pool, against the wave-widened (concurrency-proven)
+	// arena plan. Requests that cannot run parallel soundly — no wave
+	// partition, widened plan unverified or over budget, degraded tier —
+	// silently execute sequentially; check GuardReport.Wavefronts.
+	Parallel bool
+	// Workers sizes the worker pool when Parallel is set
+	// (runtime.GOMAXPROCS(0) if <= 0).
+	Workers int
 }
 
 // GuardReport describes how a guarded inference actually ran.
@@ -67,6 +78,11 @@ type GuardReport struct {
 	// per-shape contract or plan verification — including for shapes
 	// never seen before (Verify / CompileVerified path).
 	RegionCacheHit bool
+	// Wavefronts is the number of waves the run executed under the
+	// wavefront-parallel interpreter (0 = sequential), and
+	// ParallelWorkers the pool size it ran with.
+	Wavefronts      int
+	ParallelWorkers int
 }
 
 // Contract returns the model's runtime contract: declared symbolic input
@@ -180,7 +196,10 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 	if opts.MutatePlan == nil && !opts.ForceDynamic {
 		if rep := c.verified.Load(); rep != nil && rep.Mem.Proven {
 			if env, err := c.Contract().BindInputs(inputs); err == nil && rep.Region.ContainsEnv(env) {
-				outcome = &planOutcome{env: env, plan: rep.Mem.Plan}
+				// rep.Wave.Plan is non-nil exactly when the wavefront
+				// proof passed, so the fast path serves parallel
+				// requests too.
+				outcome = &planOutcome{env: env, plan: rep.Mem.Plan, wavePlan: rep.Wave.Plan}
 				gr.RegionCacheHit = true
 				c.regionHits.Add(1)
 			}
@@ -260,7 +279,22 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 			}
 			degrade(verr.Error(), guard.KindBudget, guard.TierDynamic)
 		default:
-			arena = exec.NewPooledArena(outcome.plan.Offsets, outcome.plan.ArenaSize)
+			pl := outcome.plan
+			// Wavefront-parallel serving: only on the planned tier,
+			// only with a concurrency-proven widened plan, and only
+			// when the (larger) widened arena also fits the budget.
+			// Anything short of that runs sequentially — a scheduling
+			// choice, not a degradation.
+			if opts.Parallel && outcome.wavePlan != nil && c.WavePlan != nil &&
+				(opts.ArenaBudget <= 0 || outcome.wavePlan.ArenaSize <= opts.ArenaBudget) {
+				pl = outcome.wavePlan
+				gr.Wavefronts = c.WavePlan.NumWaves()
+				gr.ParallelWorkers = opts.Workers
+				if gr.ParallelWorkers <= 0 {
+					gr.ParallelWorkers = runtime.GOMAXPROCS(0)
+				}
+			}
+			arena = exec.NewPooledArena(pl.Offsets, pl.ArenaSize)
 			arena.Budget = opts.ArenaBudget
 		}
 	}
@@ -271,6 +305,10 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 		Ctx:          opts.Ctx,
 		MaxLoopIters: opts.MaxLoopIters,
 		Hooks:        opts.Hooks,
+	}
+	if gr.Wavefronts > 0 {
+		execOpts.Waves = c.WavePlan.Waves
+		execOpts.Workers = gr.ParallelWorkers
 	}
 
 	// 3. Re-plan tier: re-analyze under the concrete input shapes and
@@ -296,6 +334,10 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 		degrade(err.Error(), guard.KindMemPlan, guard.TierDynamic)
 		arena.Release()
 		arena, execOpts.Arena = nil, nil
+		// The dynamic retry runs sequentially: without the widened
+		// arena plan there is no concurrency soundness proof.
+		execOpts.Waves, execOpts.Workers = nil, 0
+		gr.Wavefronts, gr.ParallelWorkers = 0, 0
 		res, err = exec.Run(c.Graph, inputs, execOpts)
 	}
 	if err != nil {
@@ -349,6 +391,18 @@ func (c *Compiled) buildPlanOutcome(inputs map[string]*tensor.Tensor, mutate fun
 		return o
 	}
 	o.plan = pl
+	// Wave-widened plan for parallel serving: widen this shape's
+	// lifetimes to wave granularity, re-place, and re-verify against the
+	// widened program. Failure leaves wavePlan nil — parallel requests
+	// for this shape fall back to sequential planned execution.
+	if mutate == nil && c.WavePlan != nil {
+		if widened, err := memplan.WidenWaves(prog, c.WavePlan.Ranges); err == nil {
+			wp := memplan.PeakFirst(widened)
+			if guard.VerifyMemoryPlan(wp, widened) == nil {
+				o.wavePlan = wp
+			}
+		}
+	}
 	return o
 }
 

@@ -39,6 +39,14 @@ type planOutcome struct {
 	// plan is the verified memory plan (non-nil only when every check
 	// above passed); arenas are built from its offsets and ArenaSize.
 	plan *memplan.Plan
+	// wavePlan is the wave-widened memory plan for wavefront-parallel
+	// execution: the same buffers with lifetimes widened to wave
+	// granularity, re-placed and re-verified so same-wave buffers are
+	// provably disjoint under concurrent placement. Non-nil only when
+	// plan is non-nil, the model has a wavefront partition, and the
+	// widened plan verified; nil degrades parallel requests to
+	// sequential planned execution, never to a lower tier.
+	wavePlan *memplan.Plan
 }
 
 // planCache memoizes planOutcomes by input-shape key with singleflight

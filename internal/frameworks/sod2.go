@@ -1,6 +1,8 @@
 package frameworks
 
 import (
+	"fmt"
+
 	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -24,9 +26,16 @@ type SoD2Options struct {
 	// everything known at compile time — no dynamic-planning overhead at
 	// runtime and a slightly deeper fusion search.
 	StaticFrozen bool
+	// ParallelWorkers > 1 models wavefront-parallel execution: latency
+	// is the cost model's per-wave LPT makespan over that many workers
+	// (TraceCostParallel) instead of the sequential trace cost. Requires
+	// SEP (the wave partition is over the planned order); ignored when
+	// the model has no wavefront plan.
+	ParallelWorkers int
 }
 
-// FullSoD2 enables every optimization.
+// FullSoD2 enables every optimization (sequential execution; set
+// ParallelWorkers for the wavefront-parallel configuration).
 func FullSoD2() SoD2Options { return SoD2Options{Fusion: true, SEP: true, DMP: true, MVC: true} }
 
 // SoD2 is the paper's system.
@@ -37,13 +46,20 @@ type SoD2 struct {
 // NewSoD2 builds the engine with the given optimization set.
 func NewSoD2(opts SoD2Options) *SoD2 { return &SoD2{Opts: opts} }
 
-// Name identifies the engine (reflecting disabled optimizations).
+// Name identifies the engine (reflecting disabled optimizations and the
+// parallel worker count).
 func (s *SoD2) Name() string {
 	if s.Opts.StaticFrozen {
 		return "DNNFusion-static"
 	}
-	if s.Opts == FullSoD2() {
-		return "SoD2"
+	suffix := ""
+	if s.Opts.ParallelWorkers > 1 {
+		suffix = fmt.Sprintf("-par%d", s.Opts.ParallelWorkers)
+	}
+	base := s.Opts
+	base.ParallelWorkers = 0
+	if base == FullSoD2() {
+		return "SoD2" + suffix
 	}
 	n := "SoD2[no-opt"
 	if s.Opts.Fusion {
@@ -58,7 +74,7 @@ func (s *SoD2) Name() string {
 	if s.Opts.MVC {
 		n += "+MVC"
 	}
-	return n + "]"
+	return n + "]" + suffix
 }
 
 // Supports: SoD² runs every model on every device.
@@ -171,7 +187,19 @@ func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 		peak = poolSimArena(prog)
 	}
 
-	inferUS := dev.TraceCost(tr, opts) * dev.MemPressure(peak)
+	var inferUS float64
+	waves, parWorkers := 0, 0
+	if w := s.Opts.ParallelWorkers; w > 1 && s.Opts.SEP &&
+		kind == OrderPlanned && fallbackTier == guard.TierPlanned && m.WavePlan != nil {
+		// Wavefront-parallel configuration: per-wave LPT makespan over w
+		// workers, sequential costs elsewhere (control-flow bodies,
+		// solo waves). Identical per-event costs to TraceCost, so the
+		// two configurations differ only in scheduling.
+		inferUS = dev.TraceCostParallel(tr, opts, m.WavePlan.WaveOf, w) * dev.MemPressure(peak)
+		waves, parWorkers = m.WavePlan.NumWaves(), w
+	} else {
+		inferUS = dev.TraceCost(tr, opts) * dev.MemPressure(peak)
+	}
 	phases["infer"] = inferUS / 1000
 
 	var total float64
@@ -179,5 +207,6 @@ func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 		total += v
 	}
 	return Report{LatencyMS: total, PeakMemBytes: peak, Phases: phases,
-		FallbackTier: fallbackTier, Degradations: degradations}, nil
+		FallbackTier: fallbackTier, Degradations: degradations,
+		Wavefronts: waves, ParallelWorkers: parWorkers}, nil
 }

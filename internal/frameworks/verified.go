@@ -40,13 +40,17 @@ func (c *Compiled) Verify() *staticverify.Report {
 		name = c.Builder.Name
 	}
 	gen := c.verifyGen.Load()
-	r := staticverify.Analyze(staticverify.Input{
+	in := staticverify.Input{
 		Model:  name,
 		Graph:  c.Graph,
 		Infos:  c.Infos,
 		Order:  c.ExecPlan.Order,
 		Region: c.verifyRegion(),
-	})
+	}
+	if c.WavePlan != nil {
+		in.Waves = c.WavePlan.Ranges
+	}
+	r := staticverify.Analyze(in)
 	// Memoize only if no Invalidate raced this analysis; a stale proof
 	// must not be resurrected into the region fast path.
 	if c.verifyGen.Load() == gen {

@@ -71,7 +71,7 @@ func convArgsFor(n *graph.Node, x, w *tensor.Tensor) (conv2dArgs, error) {
 	return a, nil
 }
 
-func convKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func convKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	if err := wantInputs(in, 2, "Conv"); err != nil {
 		return nil, err
 	}
@@ -85,11 +85,13 @@ func convKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if v := n.AttrInt("auto_variant", 0); v != 0 {
 		variant = SelectConvVariant(a.cinPerGroup, a.kh, a.kw)
 	}
-	switch variant {
-	case ConvDirect:
+	switch {
+	case variant == ConvDirect && threads > 1:
+		ConvParallelDirect(x, w, out, a, threads)
+	case variant == ConvDirect:
 		convDirect(x, w, out, a)
 	default:
-		convIm2col(x, w, out, a)
+		convIm2col(x, w, out, a, threads)
 	}
 	if len(in) > 2 && in[2] != nil {
 		bias := in[2]
@@ -153,8 +155,9 @@ func convDirectStripe(x, w, out *tensor.Tensor, a conv2dArgs, ocLo, ocHi int64) 
 
 // convIm2col lowers convolution to GEMM: per (batch, group), build the
 // patch matrix [cinPerGroup*kh*kw, outH*outW] and multiply by the weight
-// matrix [coutPerGroup, cinPerGroup*kh*kw].
-func convIm2col(x, w, out *tensor.Tensor, a conv2dArgs) {
+// matrix [coutPerGroup, cinPerGroup*kh*kw]. The intra-op budget stripes
+// the GEMM's output rows.
+func convIm2col(x, w, out *tensor.Tensor, a conv2dArgs, threads int) {
 	coutPerGroup := a.cout / a.group
 	k := a.cinPerGroup * a.kh * a.kw
 	cols := a.outH * a.outW
@@ -200,7 +203,7 @@ func convIm2col(x, w, out *tensor.Tensor, a conv2dArgs) {
 			for i := range outMat {
 				outMat[i] = 0
 			}
-			Gemm(GemmTiledRegular, wMat, patch, coutPerGroup, k, cols, outMat)
+			GemmParallel(GemmTiledRegular, threads, wMat, patch, coutPerGroup, k, cols, outMat)
 		}
 	}
 }
@@ -308,7 +311,10 @@ func globalPoolKernel(avg bool) Kernel {
 }
 
 func init() {
-	register("Conv", convKernel)
+	register("Conv", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return convKernel(n, in, 1)
+	})
+	registerBudgeted("Conv", convKernel)
 	register("MaxPool", poolKernel(false))
 	register("AveragePool", poolKernel(true))
 	register("GlobalAveragePool", globalPoolKernel(true))

@@ -44,16 +44,45 @@ func binI(op func(a, b int64) int64) func(x, y *tensor.Tensor) (*tensor.Tensor, 
 	}
 }
 
-// registerArith registers a kernel supporting float32 and int64 operands.
+// binFBudget is binF striped across an intra-op thread budget. Each
+// stripe owns a disjoint slice of the output and per-element arithmetic
+// is unchanged, so the result is bit-identical to binF for any budget.
+func binFBudget(op func(a, b float32) float32, threads int) func(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+	return func(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+		shape, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(tensor.Float32, shape...)
+		n := out.Len()
+		if tensor.SameShape(x.Shape, shape) && tensor.SameShape(y.Shape, shape) {
+			ParallelFor(threads, n, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					out.F[i] = op(x.F[i], y.F[i])
+				}
+			})
+			return out, nil
+		}
+		ParallelFor(threads, n, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				out.F[i] = op(x.F[tensor.BroadcastIndex(x.Shape, shape, i)], y.F[tensor.BroadcastIndex(y.Shape, shape, i)])
+			}
+		})
+		return out, nil
+	}
+}
+
+// registerArith registers a kernel supporting float32 and int64 operands,
+// plus a thread-budget-aware variant that stripes the float path.
 func registerArith(name string, fop func(a, b float32) float32, iop func(a, b int64) int64) {
-	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	arith := func(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 		if err := wantInputs(in, 2, name); err != nil {
 			return nil, err
 		}
 		x, y := in[0], in[1]
 		switch {
 		case x.DType == tensor.Float32 && y.DType == tensor.Float32:
-			out, err := binF(fop)(x, y)
+			out, err := binFBudget(fop, threads)(x, y)
 			return []*tensor.Tensor{out}, err
 		case x.DType == tensor.Int64 && y.DType == tensor.Int64 && iop != nil:
 			out, err := binI(iop)(x, y)
@@ -61,7 +90,11 @@ func registerArith(name string, fop func(a, b float32) float32, iop func(a, b in
 		default:
 			return nil, fmt.Errorf("%s: unsupported dtypes %v,%v", name, x.DType, y.DType)
 		}
+	}
+	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return arith(n, in, 1)
 	})
+	registerBudgeted(name, arith)
 }
 
 // registerCompare registers a comparison producing a bool tensor.
@@ -92,19 +125,26 @@ func registerCompare(name string, fop func(a, b float32) bool, iop func(a, b int
 	})
 }
 
-// registerUnaryF registers a float unary map kernel.
+// registerUnaryF registers a float unary map kernel plus a
+// thread-budget-aware variant striping the element range.
 func registerUnaryF(name string, op func(v float32) float32) {
-	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	unary := func(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 		if err := wantInputs(in, 1, name); err != nil {
 			return nil, err
 		}
 		x := in[0]
 		out := tensor.New(tensor.Float32, x.Shape...)
-		for i, v := range x.F {
-			out.F[i] = op(v)
-		}
+		ParallelFor(threads, x.Len(), func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				out.F[i] = op(x.F[i])
+			}
+		})
 		return []*tensor.Tensor{out}, nil
+	}
+	register(name, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return unary(n, in, 1)
 	})
+	registerBudgeted(name, unary)
 }
 
 func sigmoid(v float32) float32 { return float32(1 / (1 + math.Exp(-float64(v)))) }

@@ -130,8 +130,11 @@ func min64(a, b int64) int64 {
 }
 
 // matmulKernel implements ONNX MatMul with batch broadcasting. The
-// "variant" node attribute (set by the MVC pass) selects the schedule.
-func matmulKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// "variant" node attribute (set by the MVC pass) selects the schedule;
+// the intra-op budget stripes output rows via GemmParallel (bit-identical
+// to the sequential schedule — per-element accumulation order is
+// unchanged by row striping).
+func matmulKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	if err := wantInputs(in, 2, "MatMul"); err != nil {
 		return nil, err
 	}
@@ -159,15 +162,27 @@ func matmulKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) 
 		variant = SelectGemmVariant(m, k, nn)
 	}
 	nBatch := tensor.NumElems(batch)
+	if nBatch > 1 && int64(threads) > 1 {
+		// Batched case: stripe across batch entries (each writes a
+		// disjoint out slab); large single matmuls stripe rows instead.
+		ParallelForGrain(threads, nBatch, 1, func(lo, hi int64) {
+			for bi := lo; bi < hi; bi++ {
+				aOff := tensor.BroadcastIndex(batchA, batch, bi) * m * k
+				bOff := tensor.BroadcastIndex(batchB, batch, bi) * k * nn
+				Gemm(variant, a.F[aOff:aOff+m*k], b.F[bOff:bOff+k*nn], m, k, nn, out.F[bi*m*nn:(bi+1)*m*nn])
+			}
+		})
+		return []*tensor.Tensor{out}, nil
+	}
 	for bi := int64(0); bi < nBatch; bi++ {
 		aOff := tensor.BroadcastIndex(batchA, batch, bi) * m * k
 		bOff := tensor.BroadcastIndex(batchB, batch, bi) * k * nn
-		Gemm(variant, a.F[aOff:aOff+m*k], b.F[bOff:bOff+k*nn], m, k, nn, out.F[bi*m*nn:(bi+1)*m*nn])
+		GemmParallel(variant, threads, a.F[aOff:aOff+m*k], b.F[bOff:bOff+k*nn], m, k, nn, out.F[bi*m*nn:(bi+1)*m*nn])
 	}
 	return []*tensor.Tensor{out}, nil
 }
 
-func gemmKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func gemmKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	if err := wantInputs(in, 2, "Gemm"); err != nil {
 		return nil, err
 	}
@@ -200,15 +215,17 @@ func gemmKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		}
 		return b.F[p*b.Shape[1]+j]
 	}
-	for i := int64(0); i < am; i++ {
-		for j := int64(0); j < bn; j++ {
-			var acc float32
-			for p := int64(0); p < ak; p++ {
-				acc += at(i, p) * bt(p, j)
+	ParallelForGrain(threads, am, rowGrain(ak*bn), func(iLo, iHi int64) {
+		for i := iLo; i < iHi; i++ {
+			for j := int64(0); j < bn; j++ {
+				var acc float32
+				for p := int64(0); p < ak; p++ {
+					acc += at(i, p) * bt(p, j)
+				}
+				out.F[i*bn+j] = alpha * acc
 			}
-			out.F[i*bn+j] = alpha * acc
 		}
-	}
+	})
 	if len(in) > 2 && in[2] != nil && beta != 0 {
 		c := in[2]
 		for i := int64(0); i < out.Len(); i++ {
@@ -219,6 +236,12 @@ func gemmKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
 }
 
 func init() {
-	register("MatMul", matmulKernel)
-	register("Gemm", gemmKernel)
+	register("MatMul", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return matmulKernel(n, in, 1)
+	})
+	registerBudgeted("MatMul", matmulKernel)
+	register("Gemm", func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return gemmKernel(n, in, 1)
+	})
+	registerBudgeted("Gemm", gemmKernel)
 }

@@ -8,8 +8,21 @@ import (
 	"repro/internal/tensor"
 )
 
-func softmaxKernel(logMode bool) Kernel {
-	return func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// rowGrain converts the elementwise parGrain into a row-count grain for
+// kernels whose parallel unit is an independent row of `inner` elements.
+func rowGrain(inner int64) int64 {
+	if inner < 1 {
+		inner = 1
+	}
+	g := parGrain / inner
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func softmaxKernel(logMode bool) BudgetedKernel {
+	return func(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 		if err := wantInputs(in, 1, n.OpType); err != nil {
 			return nil, err
 		}
@@ -24,40 +37,44 @@ func softmaxKernel(logMode bool) Kernel {
 		inner := x.Shape[x.Rank()-1]
 		outer := x.Len() / inner
 		out := tensor.New(tensor.Float32, x.Shape...)
-		for o := int64(0); o < outer; o++ {
-			row := x.F[o*inner : (o+1)*inner]
-			dst := out.F[o*inner : (o+1)*inner]
-			maxV := float32(math.Inf(-1))
-			for _, v := range row {
-				if v > maxV {
-					maxV = v
+		softmaxRows := func(oLo, oHi int64) {
+			for o := oLo; o < oHi; o++ {
+				row := x.F[o*inner : (o+1)*inner]
+				dst := out.F[o*inner : (o+1)*inner]
+				maxV := float32(math.Inf(-1))
+				for _, v := range row {
+					if v > maxV {
+						maxV = v
+					}
 				}
-			}
-			var sum float64
-			for i, v := range row {
-				e := math.Exp(float64(v - maxV))
-				dst[i] = float32(e)
-				sum += e
-			}
-			if logMode {
-				ls := float32(math.Log(sum))
+				var sum float64
 				for i, v := range row {
-					dst[i] = v - maxV - ls
+					e := math.Exp(float64(v - maxV))
+					dst[i] = float32(e)
+					sum += e
 				}
-			} else {
-				inv := float32(1 / sum)
-				for i := range dst {
-					dst[i] *= inv
+				if logMode {
+					ls := float32(math.Log(sum))
+					for i, v := range row {
+						dst[i] = v - maxV - ls
+					}
+				} else {
+					inv := float32(1 / sum)
+					for i := range dst {
+						dst[i] *= inv
+					}
 				}
 			}
 		}
+		ParallelForGrain(threads, outer, rowGrain(inner), softmaxRows)
 		return []*tensor.Tensor{out}, nil
 	}
 }
 
 // layerNormKernel normalizes over the trailing axes starting at `axis`
-// (default -1) with optional scale and bias inputs.
-func layerNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// (default -1) with optional scale and bias inputs. Rows are normalized
+// independently, so the budget stripes the outer dimension.
+func layerNormKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	if err := wantInputs(in, 1, "LayerNormalization"); err != nil {
 		return nil, err
 	}
@@ -77,38 +94,41 @@ func layerNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, erro
 	if len(in) > 2 && in[2] != nil {
 		bias = in[2]
 	}
-	for o := int64(0); o < outer; o++ {
-		row := x.F[o*inner : (o+1)*inner]
-		dst := out.F[o*inner : (o+1)*inner]
-		var mean float64
-		for _, v := range row {
-			mean += float64(v)
-		}
-		mean /= float64(inner)
-		var variance float64
-		for _, v := range row {
-			d := float64(v) - mean
-			variance += d * d
-		}
-		variance /= float64(inner)
-		inv := float32(1 / math.Sqrt(variance+float64(eps)))
-		for i, v := range row {
-			r := (v - float32(mean)) * inv
-			if scale != nil {
-				r *= scale.F[int64(i)%scale.Len()]
+	ParallelForGrain(threads, outer, rowGrain(inner), func(oLo, oHi int64) {
+		for o := oLo; o < oHi; o++ {
+			row := x.F[o*inner : (o+1)*inner]
+			dst := out.F[o*inner : (o+1)*inner]
+			var mean float64
+			for _, v := range row {
+				mean += float64(v)
 			}
-			if bias != nil {
-				r += bias.F[int64(i)%bias.Len()]
+			mean /= float64(inner)
+			var variance float64
+			for _, v := range row {
+				d := float64(v) - mean
+				variance += d * d
 			}
-			dst[i] = r
+			variance /= float64(inner)
+			inv := float32(1 / math.Sqrt(variance+float64(eps)))
+			for i, v := range row {
+				r := (v - float32(mean)) * inv
+				if scale != nil {
+					r *= scale.F[int64(i)%scale.Len()]
+				}
+				if bias != nil {
+					r += bias.F[int64(i)%bias.Len()]
+				}
+				dst[i] = r
+			}
 		}
-	}
+	})
 	return []*tensor.Tensor{out}, nil
 }
 
 // batchNormKernel: inference-mode y = scale*(x-mean)/sqrt(var+eps)+bias,
-// parameters indexed by channel (dim 1).
-func batchNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// parameters indexed by channel (dim 1). (batch, channel) planes are
+// independent, so the budget stripes the flattened N*C range.
+func batchNormKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	if err := wantInputs(in, 5, "BatchNormalization"); err != nil {
 		return nil, err
 	}
@@ -121,21 +141,24 @@ func batchNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, erro
 	plane := tensor.NumElems(x.Shape[2:])
 	N := x.Shape[0]
 	out := tensor.New(tensor.Float32, x.Shape...)
-	for b := int64(0); b < N; b++ {
-		for c := int64(0); c < C; c++ {
+	ParallelForGrain(threads, N*C, rowGrain(plane), func(lo, hi int64) {
+		for bc := lo; bc < hi; bc++ {
+			c := bc % C
 			inv := float32(1 / math.Sqrt(float64(variance.F[c])+float64(eps)))
 			s, bi, m := scale.F[c], bias.F[c], mean.F[c]
-			base := (b*C + c) * plane
+			base := bc * plane
 			for i := int64(0); i < plane; i++ {
 				out.F[base+i] = s*(x.F[base+i]-m)*inv + bi
 			}
 		}
-	}
+	})
 	return []*tensor.Tensor{out}, nil
 }
 
-// groupNormKernel normalizes within channel groups.
-func groupNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// groupNormKernel normalizes within channel groups. (batch, group)
+// spans are independent, so the budget stripes the flattened N*groups
+// range.
+func groupNormKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	if err := wantInputs(in, 1, "GroupNormalization"); err != nil {
 		return nil, err
 	}
@@ -160,8 +183,9 @@ func groupNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, erro
 	if len(in) > 2 && in[2] != nil {
 		bias = in[2]
 	}
-	for b := int64(0); b < N; b++ {
-		for g := int64(0); g < groups; g++ {
+	ParallelForGrain(threads, N*groups, rowGrain(span), func(lo, hi int64) {
+		for bg := lo; bg < hi; bg++ {
+			b, g := bg/groups, bg%groups
 			base := b*C*plane + g*span
 			var mean float64
 			for i := int64(0); i < span; i++ {
@@ -190,11 +214,11 @@ func groupNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, erro
 				}
 			}
 		}
-	}
+	})
 	return []*tensor.Tensor{out}, nil
 }
 
-func instanceNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func instanceNormKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
 	// InstanceNorm == GroupNorm with groups == C.
 	if err := wantInputs(in, 1, "InstanceNormalization"); err != nil {
 		return nil, err
@@ -204,14 +228,23 @@ func instanceNormKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, e
 			"num_groups": graph.IntAttr(in[0].Shape[1]),
 			"epsilon":    graph.FloatAttr(n.AttrFloat("epsilon", 1e-5)),
 		}}
-	return groupNormKernel(clone, in)
+	return groupNormKernel(clone, in, threads)
+}
+
+// registerNorm installs both the sequential and budgeted registrations
+// of a row-parallel normalization kernel.
+func registerNorm(op string, k BudgetedKernel) {
+	register(op, func(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return k(n, in, 1)
+	})
+	registerBudgeted(op, k)
 }
 
 func init() {
-	register("Softmax", softmaxKernel(false))
-	register("LogSoftmax", softmaxKernel(true))
-	register("LayerNormalization", layerNormKernel)
-	register("BatchNormalization", batchNormKernel)
-	register("GroupNormalization", groupNormKernel)
-	register("InstanceNormalization", instanceNormKernel)
+	registerNorm("Softmax", softmaxKernel(false))
+	registerNorm("LogSoftmax", softmaxKernel(true))
+	registerNorm("LayerNormalization", layerNormKernel)
+	registerNorm("BatchNormalization", batchNormKernel)
+	registerNorm("GroupNormalization", groupNormKernel)
+	registerNorm("InstanceNormalization", instanceNormKernel)
 }

@@ -11,18 +11,20 @@ import (
 // row stripe. This realizes the thread-count dimension of the MVC
 // auto-tuner's search space (§4.4.2: "the more effective exploitation of
 // parallelism available in the hardware").
+// When m < threads the stripe count is clamped to m (m=3, threads=8 uses
+// 3 goroutines) rather than collapsing to a single thread.
 func GemmParallel(variant GemmVariant, threads int, a, b []float32, m, k, n int64, c []float32) {
-	if threads <= 1 || m < int64(threads) {
+	stripes := int64(threads)
+	if stripes > m {
+		stripes = m
+	}
+	if stripes <= 1 {
 		Gemm(variant, a, b, m, k, n, c)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (m + int64(threads) - 1) / int64(threads)
-	for t := 0; t < threads; t++ {
-		lo := int64(t) * chunk
-		if lo >= m {
-			break
-		}
+	chunk := (m + stripes - 1) / stripes
+	for lo := int64(0); lo < m; lo += chunk {
 		hi := lo + chunk
 		if hi > m {
 			hi = m
@@ -39,18 +41,20 @@ func GemmParallel(variant GemmVariant, threads int, a, b []float32, m, k, n int6
 // ConvParallelDirect stripes the direct convolution's output channels
 // across goroutines (each stripe reads the shared input independently).
 // Grouped convolutions fall back to the single-threaded kernel.
+// As with GemmParallel, the stripe count is clamped to cout instead of
+// collapsing to one thread when cout < threads.
 func ConvParallelDirect(x, w, out *tensor.Tensor, a conv2dArgs, threads int) {
-	if threads <= 1 || a.cout < int64(threads) || a.group != 1 {
+	stripes := int64(threads)
+	if stripes > a.cout {
+		stripes = a.cout
+	}
+	if stripes <= 1 || a.group != 1 {
 		convDirect(x, w, out, a)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (a.cout + int64(threads) - 1) / int64(threads)
-	for t := 0; t < threads; t++ {
-		lo := int64(t) * chunk
-		if lo >= a.cout {
-			break
-		}
+	chunk := (a.cout + stripes - 1) / stripes
+	for lo := int64(0); lo < a.cout; lo += chunk {
 		hi := lo + chunk
 		if hi > a.cout {
 			hi = a.cout

@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// parGrain is the minimum number of scalar elements a stripe must own
+// before ParallelFor spawns a goroutine for it. Below this, goroutine
+// launch + WaitGroup overhead dominates the arithmetic.
+const parGrain = int64(1) << 13
+
+// ParallelFor splits [0,n) into at most `threads` contiguous stripes of
+// at least parGrain elements each and runs f on every stripe, clamping
+// the stripe count to the work size (n=3, threads=8 yields 3 stripes,
+// never a silent single-threaded collapse). Stripes are disjoint, so a
+// kernel writing out[lo:hi] per stripe is bit-identical to its
+// sequential loop.
+func ParallelFor(threads int, n int64, f func(lo, hi int64)) {
+	ParallelForGrain(threads, n, parGrain, f)
+}
+
+// ParallelForGrain is ParallelFor with an explicit per-stripe floor.
+func ParallelForGrain(threads int, n, grain int64, f func(lo, hi int64)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	stripes := int64(threads)
+	if stripes > n {
+		stripes = n
+	}
+	if maxStripes := (n + grain - 1) / grain; stripes > maxStripes {
+		stripes = maxStripes
+	}
+	if stripes <= 1 {
+		f(0, n)
+		return
+	}
+	chunk := (n + stripes - 1) / stripes
+	var wg sync.WaitGroup
+	for lo := int64(0); lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// BudgetedKernel executes one operator with an intra-op thread budget.
+// Implementations must produce bit-identical outputs for every budget
+// (stripes are disjoint and per-element arithmetic order is unchanged).
+type BudgetedKernel func(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error)
+
+var budgeted = map[string]BudgetedKernel{}
+
+// registerBudgeted installs a thread-budget-aware kernel variant next to
+// the plain one; duplicates panic at init time.
+func registerBudgeted(op string, k BudgetedKernel) {
+	if _, dup := budgeted[op]; dup {
+		panic("kernels: duplicate budgeted " + op)
+	}
+	budgeted[op] = k
+}
+
+// HasBudgeted reports whether op has a thread-budget-aware variant.
+func HasBudgeted(op string) bool {
+	_, ok := budgeted[op]
+	return ok
+}
+
+// RunWithBudget executes the node's kernel with an intra-op thread
+// budget. Ops without a budgeted variant (or budget <= 1) fall back to
+// the plain sequential kernel; results are bit-identical either way.
+func RunWithBudget(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tensor, error) {
+	if threads > 1 {
+		if bk, ok := budgeted[n.OpType]; ok {
+			out, err := bk(n, in, threads)
+			if err != nil {
+				return nil, fmt.Errorf("kernels: %s(%s): %w", n.OpType, n.Name, err)
+			}
+			return out, nil
+		}
+	}
+	return Run(n, in)
+}

@@ -1,0 +1,72 @@
+package memplan
+
+import "fmt"
+
+// WidenWaves widens every buffer's live interval from step granularity
+// to wavefront granularity: a buffer born at step b and dying at step d
+// becomes live from the first step of b's wave through the last step of
+// d's wave. Under wavefront-parallel execution every operator of a wave
+// may run (and write its outputs / read its inputs) concurrently, so
+// offsets planned against the widened program are provably
+// non-overlapping for any interleaving of same-wave operators — the
+// per-step interval claim "this buffer is dead before step s" is only
+// sound at wave boundaries, where the executor places a barrier.
+//
+// waves are half-open [start,end) step ranges that must partition
+// [0,Steps) contiguously in ascending order.
+func WidenWaves(p *Program, waves [][2]int) (*Program, error) {
+	if err := checkWaves(waves, p.Steps); err != nil {
+		return nil, err
+	}
+	// waveOf[s] = index of the wave containing step s.
+	waveOf := make([]int, p.Steps)
+	for w, r := range waves {
+		for s := r[0]; s < r[1]; s++ {
+			waveOf[s] = w
+		}
+	}
+	out := &Program{Steps: p.Steps, Bufs: make([]Buf, len(p.Bufs))}
+	for i, b := range p.Bufs {
+		if b.Birth < 0 || b.Death >= p.Steps || b.Birth > b.Death {
+			return nil, fmt.Errorf("memplan: buffer %q has invalid interval [%d,%d] over %d steps", b.Name, b.Birth, b.Death, p.Steps)
+		}
+		wb := waves[waveOf[b.Birth]]
+		wd := waves[waveOf[b.Death]]
+		out.Bufs[i] = Buf{Name: b.Name, Size: b.Size, Birth: wb[0], Death: wd[1] - 1}
+	}
+	return out, nil
+}
+
+// checkWaves verifies waves partition [0,steps) contiguously.
+func checkWaves(waves [][2]int, steps int) error {
+	next := 0
+	for i, r := range waves {
+		if r[0] != next || r[1] <= r[0] {
+			return fmt.Errorf("memplan: wave %d range [%d,%d) does not continue partition at step %d", i, r[0], r[1], next)
+		}
+		next = r[1]
+	}
+	if next != steps {
+		return fmt.Errorf("memplan: waves cover %d of %d steps", next, steps)
+	}
+	return nil
+}
+
+// Covers reports whether plan intervals in `widened` contain the
+// corresponding intervals of `base` (same buffer order). Used by the
+// static verifier to certify that widening only ever grows lifetimes.
+func Covers(widened, base *Program) error {
+	if len(widened.Bufs) != len(base.Bufs) {
+		return fmt.Errorf("memplan: widened program has %d buffers, base has %d", len(widened.Bufs), len(base.Bufs))
+	}
+	for i, w := range widened.Bufs {
+		b := base.Bufs[i]
+		if w.Name != b.Name || w.Size != b.Size {
+			return fmt.Errorf("memplan: buffer %d mismatch: %q/%d vs %q/%d", i, w.Name, w.Size, b.Name, b.Size)
+		}
+		if w.Birth > b.Birth || w.Death < b.Death {
+			return fmt.Errorf("memplan: widened interval [%d,%d] of %q does not cover base [%d,%d]", w.Birth, w.Death, w.Name, b.Birth, b.Death)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package memplan
+
+import "testing"
+
+func waveProg() *Program {
+	return &Program{Steps: 4, Bufs: []Buf{
+		{Name: "a", Size: 16, Birth: 0, Death: 1},
+		{Name: "b", Size: 16, Birth: 1, Death: 2},
+		{Name: "c", Size: 8, Birth: 2, Death: 3},
+	}}
+}
+
+func TestWidenWavesGrowsToWaveBounds(t *testing.T) {
+	p := waveProg()
+	// Waves: [0,2) and [2,4). Buffer "b" is born in wave 0 and dies in
+	// wave 1, so it must span the whole program after widening.
+	w, err := WidenWaves(p, [][2]int{{0, 2}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Buf{
+		{Name: "a", Size: 16, Birth: 0, Death: 1},
+		{Name: "b", Size: 16, Birth: 0, Death: 3},
+		{Name: "c", Size: 8, Birth: 2, Death: 3},
+	}
+	for i, b := range w.Bufs {
+		if b != want[i] {
+			t.Fatalf("buf %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if err := Covers(w, p); err != nil {
+		t.Fatalf("widened program must cover the base: %v", err)
+	}
+}
+
+func TestWidenWavesTrivialPartitionIsIdentity(t *testing.T) {
+	p := waveProg()
+	w, err := WidenWaves(p, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range w.Bufs {
+		if b != p.Bufs[i] {
+			t.Fatalf("width-1 waves changed buf %d: %+v != %+v", i, b, p.Bufs[i])
+		}
+	}
+}
+
+func TestWidenWavesRejectsBadPartition(t *testing.T) {
+	p := waveProg()
+	for _, waves := range [][][2]int{
+		{{0, 2}},                 // does not cover all steps
+		{{0, 2}, {3, 4}},         // gap
+		{{0, 2}, {1, 4}},         // overlap
+		{{0, 0}, {0, 4}},         // empty wave
+		{{0, 2}, {2, 4}, {4, 5}}, // past the end
+	} {
+		if _, err := WidenWaves(p, waves); err == nil {
+			t.Fatalf("bad partition %v accepted", waves)
+		}
+	}
+}
+
+func TestWidenedPlanSeparatesSameWaveBuffers(t *testing.T) {
+	// Two buffers that are sequentially disjoint (a dies at step 0,
+	// b born at step 1) but land in the same wave: the sequential plan
+	// may stack them at one offset; the widened plan must not.
+	p := &Program{Steps: 2, Bufs: []Buf{
+		{Name: "a", Size: 32, Birth: 0, Death: 0},
+		{Name: "b", Size: 32, Birth: 1, Death: 1},
+	}}
+	w, err := WidenWaves(p, [][2]int{{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := PeakFirst(w)
+	if err := pl.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Offsets["a"] == pl.Offsets["b"] {
+		t.Fatal("same-wave buffers share an offset in the widened plan")
+	}
+	if pl.ArenaSize < 64 {
+		t.Fatalf("widened arena %d cannot hold both concurrent buffers", pl.ArenaSize)
+	}
+}
+
+func TestCoversDetectsShrunkLifetime(t *testing.T) {
+	base := waveProg()
+	bad := waveProg()
+	bad.Bufs[1].Death = 1 // shrunk vs base's 2
+	if err := Covers(bad, base); err == nil {
+		t.Fatal("shrunk lifetime not detected")
+	}
+}

@@ -1,0 +1,246 @@
+// Wavefront construction: partitions a planned execution order into
+// dependency wavefronts (levelized antichains) for inter-op parallel
+// execution. Waves are *contiguous runs of the planned order*, which
+// keeps the memory-plan step indexing intact and makes the antichain
+// check complete: any dependency path between two nodes of the same
+// contiguous run must include a direct edge between two nodes of that
+// run (every intermediate node on the path sits between them in the
+// topological order, hence inside the run).
+//
+// Each wave is additionally clipped by a memory cap computed from RDP
+// sizes: the bytes concurrently live while the whole wave executes
+// (inputs held by any wave member + every wave output + everything
+// still needed downstream) must not exceed the cap, so a wide
+// wavefront never exceeds the arena budget the memory planner will be
+// widened against.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/fusion"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+)
+
+// WavefrontOptions tune wavefront construction.
+type WavefrontOptions struct {
+	// Env binds symbolic dims for size estimation (defaults to the same
+	// nominal binding plan.Build uses).
+	Env symbolic.Env
+	// Fusion marks fused-internal values (never materialized, size 0).
+	Fusion *fusion.Plan
+	// MemCap bounds the concurrently-live bytes of a single wave.
+	// 0 means "2x the sequential peak of the order" (so widening the
+	// memory plan at most doubles the arena); negative means unlimited.
+	MemCap int64
+	// MaxWidth bounds the number of ops per wave (0 = unlimited).
+	MaxWidth int
+}
+
+// WavefrontPlan is a partition of a planned order into waves. Flattening
+// Waves in order reproduces exactly the input order.
+type WavefrontPlan struct {
+	// Waves are the levelized antichains, in execution order.
+	Waves [][]*graph.Node
+	// Ranges[i] is the half-open [start,end) step range of wave i in the
+	// flattened order — the indexing the memory planner widens against.
+	Ranges [][2]int
+	// MemCap is the resolved concurrent-live byte cap used during
+	// construction (0 = unlimited).
+	MemCap int64
+	// MaxWidth is the widest wave.
+	MaxWidth int
+
+	waveOf map[*graph.Node]int
+}
+
+// NumWaves returns the number of waves.
+func (wp *WavefrontPlan) NumWaves() int { return len(wp.Waves) }
+
+// WaveOf returns the wave index of n, or -1 if n is not in the plan.
+func (wp *WavefrontPlan) WaveOf(n *graph.Node) int {
+	if w, ok := wp.waveOf[n]; ok {
+		return w
+	}
+	return -1
+}
+
+// Order returns the flattened execution order (identical to the order
+// the plan was built from).
+func (wp *WavefrontPlan) Order() []*graph.Node {
+	var out []*graph.Node
+	for _, w := range wp.Waves {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// ThreadBudget splits `workers` intra-op threads across the nodes of
+// wave w: a solo wave gets the full budget, a wave as wide as the
+// worker count gets 1 thread per op.
+func (wp *WavefrontPlan) ThreadBudget(workers, wave int) int {
+	if workers <= 1 || wave < 0 || wave >= len(wp.Waves) {
+		return 1
+	}
+	width := len(wp.Waves[wave])
+	if width == 0 {
+		return workers
+	}
+	b := workers / width
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// controlFlowNode reports ops the executor must run solo (they route or
+// recurse rather than compute, and their bodies/branches own the arena
+// while they run).
+func controlFlowNode(n *graph.Node) bool {
+	switch n.OpType {
+	case "If", "Loop", "Switch", "Combine":
+		return true
+	}
+	return false
+}
+
+// BuildWavefronts partitions order into memory-capped antichain waves.
+// order must be a topological order of g's nodes (the planned order);
+// the result flattens back to exactly that order.
+func BuildWavefronts(g *graph.Graph, infos map[string]lattice.Info, order []*graph.Node, opts WavefrontOptions) (*WavefrontPlan, error) {
+	if opts.Env == nil {
+		opts.Env = nominalEnv(infos)
+	}
+	sizes := valueSizes(g, infos, opts.Env, opts.Fusion)
+	cap := opts.MemCap
+	if cap == 0 {
+		cap = 2 * PeakBytes(g, order, sizes)
+	}
+	if cap < 0 {
+		cap = 0 // unlimited
+	}
+
+	s := newScheduler(g, order, sizes)
+	scheduled := make(map[*graph.Node]bool, len(order))
+	wp := &WavefrontPlan{MemCap: cap, waveOf: make(map[*graph.Node]int, len(order))}
+
+	producedBy := map[string]*graph.Node{}
+	var wave []*graph.Node
+	waveStart := 0
+	inWave := map[*graph.Node]bool{}
+
+	flush := func(end int) {
+		if len(wave) == 0 {
+			return
+		}
+		w := len(wp.Waves)
+		wp.Waves = append(wp.Waves, wave)
+		wp.Ranges = append(wp.Ranges, [2]int{waveStart, end})
+		for _, n := range wave {
+			wp.waveOf[n] = w
+			scheduled[n] = true
+		}
+		if len(wave) > wp.MaxWidth {
+			wp.MaxWidth = len(wave)
+		}
+		wave = nil
+		inWave = map[*graph.Node]bool{}
+		waveStart = end
+	}
+
+	for i, n := range order {
+		// Topological-order sanity: every predecessor must already have
+		// been seen (in an earlier wave or earlier in this wave).
+		for _, p := range g.Predecessors(n) {
+			if !scheduled[p] && !inWave[p] {
+				return nil, fmt.Errorf("plan: order is not topological at %q (predecessor %q not yet scheduled)", n.Name, p.Name)
+			}
+		}
+		joins := len(wave) > 0
+		if joins && (controlFlowNode(n) || controlFlowNode(wave[0])) {
+			joins = false // control-flow ops run solo
+		}
+		if joins && opts.MaxWidth > 0 && len(wave) >= opts.MaxWidth {
+			joins = false
+		}
+		if joins {
+			// Antichain: n must not consume any value produced inside
+			// the current wave (direct edges only — complete for
+			// contiguous runs of a topological order).
+			for _, in := range n.Inputs {
+				if in == "" {
+					continue
+				}
+				if p, ok := producedBy[in]; ok && inWave[p] {
+					joins = false
+					break
+				}
+			}
+		}
+		if joins && cap > 0 {
+			trial := append(append([]*graph.Node{}, wave...), n)
+			if waveLiveBytes(s, scheduled, trial) > cap {
+				joins = false
+			}
+		}
+		if !joins {
+			flush(i)
+		}
+		wave = append(wave, n)
+		inWave[n] = true
+		for _, o := range n.Outputs {
+			if o != "" {
+				producedBy[o] = n
+			}
+		}
+	}
+	flush(len(order))
+	return wp, nil
+}
+
+// waveLiveBytes estimates the bytes concurrently live while every node
+// of `wave` executes at once: outputs of already-scheduled nodes still
+// needed by any node outside the scheduled+wave set (or held as a wave
+// input, or a model output), plus every wave output (their consumers
+// are by construction outside the wave).
+func waveLiveBytes(s *scheduler, scheduled map[*graph.Node]bool, wave []*graph.Node) int64 {
+	held := map[string]bool{}
+	inWave := map[*graph.Node]bool{}
+	for _, n := range wave {
+		inWave[n] = true
+		for _, in := range n.Inputs {
+			if in != "" {
+				held[in] = true
+			}
+		}
+	}
+	var live int64
+	count := func(n *graph.Node) {
+		for _, o := range n.Outputs {
+			if o == "" {
+				continue
+			}
+			alive := s.outputs[o] || held[o] || inWave[n]
+			if !alive {
+				for _, c := range s.consumers[o] {
+					if !scheduled[c] && !inWave[c] {
+						alive = true
+						break
+					}
+				}
+			}
+			if alive {
+				live += s.sizes[o]
+			}
+		}
+	}
+	for n := range scheduled {
+		count(n)
+	}
+	for _, n := range wave {
+		count(n)
+	}
+	return live
+}

@@ -1,0 +1,177 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// branchGraph: one input feeding two independent unary branches that
+// join — the minimal graph with inter-op parallelism.
+func branchGraph() *graph.Graph {
+	g := graph.New("branches")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(64))
+	g.Op("Relu", "a", []string{"x"}, []string{"ya"}, nil)
+	g.Op("Sigmoid", "b", []string{"x"}, []string{"yb"}, nil)
+	g.Op("Add", "join", []string{"ya", "yb"}, []string{"out"}, nil)
+	g.AddOutput("out")
+	return g
+}
+
+func buildWaves(t *testing.T, g *graph.Graph, opts WavefrontOptions) (*WavefrontPlan, []*graph.Node) {
+	t.Helper()
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := BuildWavefronts(g, infos, p.Order, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wp, p.Order
+}
+
+// checkInvariants verifies the structural soundness the executor and the
+// memory-plan widening rely on: flattening reproduces the order exactly,
+// ranges partition [0, len(order)), no wave member consumes a same-wave
+// output, and control-flow ops run solo.
+func checkInvariants(t *testing.T, wp *WavefrontPlan, order []*graph.Node) {
+	t.Helper()
+	flat := wp.Order()
+	if len(flat) != len(order) {
+		t.Fatalf("flattened %d nodes, order has %d", len(flat), len(order))
+	}
+	for i := range flat {
+		if flat[i] != order[i] {
+			t.Fatalf("flattened order diverges at step %d: %s != %s", i, flat[i].Name, order[i].Name)
+		}
+	}
+	next := 0
+	for wi, r := range wp.Ranges {
+		if r[0] != next || r[1] <= r[0] {
+			t.Fatalf("wave %d range %v does not continue partition at %d", wi, r, next)
+		}
+		next = r[1]
+		if got := r[1] - r[0]; got != len(wp.Waves[wi]) {
+			t.Fatalf("wave %d range %v disagrees with width %d", wi, r, len(wp.Waves[wi]))
+		}
+	}
+	if next != len(order) {
+		t.Fatalf("ranges cover %d of %d steps", next, len(order))
+	}
+	for wi, wave := range wp.Waves {
+		produced := map[string]bool{}
+		for _, n := range wave {
+			for _, in := range n.Inputs {
+				if in != "" && produced[in] {
+					t.Fatalf("wave %d not an antichain: %s consumes same-wave value %q", wi, n.Name, in)
+				}
+			}
+			for _, o := range n.Outputs {
+				if o != "" {
+					produced[o] = true
+				}
+			}
+			if controlFlowNode(n) && len(wave) != 1 {
+				t.Fatalf("wave %d: control-flow op %s shares a wave of width %d", wi, n.Name, len(wave))
+			}
+			if got := wp.WaveOf(n); got != wi {
+				t.Fatalf("WaveOf(%s) = %d, want %d", n.Name, got, wi)
+			}
+		}
+	}
+}
+
+func TestWavefrontsBranchesShareAWave(t *testing.T) {
+	g := branchGraph()
+	wp, order := buildWaves(t, g, WavefrontOptions{})
+	checkInvariants(t, wp, order)
+	if wp.MaxWidth < 2 {
+		t.Fatalf("independent branches should share a wave; max width %d", wp.MaxWidth)
+	}
+}
+
+func TestWavefrontsMaxWidthClamp(t *testing.T) {
+	g := branchGraph()
+	wp, order := buildWaves(t, g, WavefrontOptions{MaxWidth: 1})
+	checkInvariants(t, wp, order)
+	if wp.MaxWidth != 1 {
+		t.Fatalf("MaxWidth=1 ignored: got width %d", wp.MaxWidth)
+	}
+	if wp.NumWaves() != len(order) {
+		t.Fatalf("width-1 partition should have %d waves, got %d", len(order), wp.NumWaves())
+	}
+}
+
+func TestWavefrontsMemCapClipsWidth(t *testing.T) {
+	g := branchGraph()
+	// A 1-byte cap can never fit two concurrent branches.
+	wp, order := buildWaves(t, g, WavefrontOptions{MemCap: 1})
+	checkInvariants(t, wp, order)
+	if wp.MaxWidth != 1 {
+		t.Fatalf("1-byte MemCap should force solo waves, got width %d", wp.MaxWidth)
+	}
+}
+
+func TestWavefrontsThreadBudget(t *testing.T) {
+	g := branchGraph()
+	wp, _ := buildWaves(t, g, WavefrontOptions{})
+	wide := -1
+	for wi, w := range wp.Waves {
+		if len(w) == 2 {
+			wide = wi
+		}
+	}
+	if wide < 0 {
+		t.Fatal("no width-2 wave")
+	}
+	if got := wp.ThreadBudget(8, wide); got != 4 {
+		t.Fatalf("ThreadBudget(8, width-2 wave) = %d, want 4", got)
+	}
+	if got := wp.ThreadBudget(1, wide); got != 1 {
+		t.Fatalf("ThreadBudget(1, _) = %d, want 1", got)
+	}
+	if got := wp.ThreadBudget(8, -1); got != 1 {
+		t.Fatalf("ThreadBudget(8, -1) = %d, want 1", got)
+	}
+}
+
+func TestWavefrontsRejectNonTopologicalOrder(t *testing.T) {
+	g := branchGraph()
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]*graph.Node{}, p.Order...)
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+	if _, err := BuildWavefronts(g, infos, bad, WavefrontOptions{}); err == nil {
+		t.Fatal("non-topological order accepted")
+	}
+}
+
+// TestWavefrontsAllModels builds the wave partition over every
+// evaluation model's planned order and checks the structural invariants
+// under the default memory cap.
+func TestWavefrontsAllModels(t *testing.T) {
+	for _, b := range models.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			g := b.Build()
+			infos := analyzed(t, g)
+			p, err := Build(g, infos, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wp, err := BuildWavefronts(g, infos, p.Order, WavefrontOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkInvariants(t, wp, p.Order)
+		})
+	}
+}

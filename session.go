@@ -41,6 +41,12 @@ type SessionOptions struct {
 	// tracing). The hooks are shared by all concurrent requests and must
 	// be safe for concurrent use.
 	Hooks *exec.Hooks
+	// Parallel serves every request with the wavefront-parallel
+	// interpreter when the model's widened plan is proven (sequential
+	// otherwise — check Report.Wavefronts). ParallelWorkers sizes each
+	// request's worker pool (GOMAXPROCS when 0).
+	Parallel        bool
+	ParallelWorkers int
 
 	// Admission bounds concurrent work: a request past the concurrency
 	// semaphore's bounded queue, or whose planned arena estimate does not
@@ -130,6 +136,8 @@ func (c *Compiled) NewSession(opts SessionOptions) *Session {
 			MaxLoopIters: opts.MaxLoopIters,
 			Strict:       opts.Strict,
 			Hooks:        opts.Hooks,
+			Parallel:     opts.Parallel,
+			Workers:      opts.ParallelWorkers,
 		},
 		timeout:  opts.RequestTimeout,
 		adm:      resilience.NewAdmission(opts.Admission),

@@ -284,7 +284,16 @@ func (c *Compiled) inferSample(s Sample, dev Device, gopts GuardOptions) (map[st
 	if err != nil {
 		return nil, Report{FallbackTier: gr.Tier, Degradations: gr.Degradations}, err
 	}
-	rep, err := c.eng.Run(c.inner, s, dev)
+	eng := c.eng
+	if gr.Wavefronts > 0 {
+		// The guarded run executed wavefront-parallel; model the latency
+		// the same way (per-wave makespan instead of sequential trace
+		// cost). The engine is stateless, so a per-call copy is cheap.
+		par := eng.Opts
+		par.ParallelWorkers = gr.ParallelWorkers
+		eng = frameworks.NewSoD2(par)
+	}
+	rep, err := eng.Run(c.inner, s, dev)
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -293,6 +302,8 @@ func (c *Compiled) inferSample(s Sample, dev Device, gopts GuardOptions) (map[st
 	}
 	rep.PlanCacheHit = gr.PlanCacheHit
 	rep.RegionCacheHit = gr.RegionCacheHit
+	rep.Wavefronts = gr.Wavefronts
+	rep.ParallelWorkers = gr.ParallelWorkers
 	rep.Degradations = append(gr.Degradations, rep.Degradations...)
 	if gr.ReplanMS > 0 {
 		if rep.Phases == nil {
