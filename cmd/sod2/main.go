@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,9 @@ func main() {
 	deadline := fs.Duration("deadline", 0, "serve-bench: per-request deadline (0 = none)")
 	faultEvery := fs.Int64("fault-every", 0, "serve-bench: inject a kernel fault every Nth launch (0 = off; exercises retry/breaker/quarantine)")
 	parallel := fs.Int("parallel", 0, "serve-bench: wavefront-parallel worker pool per request (0 = sequential)")
+	storeDir := fs.String("store", "", "serve-bench: compiled-artifact store directory (warm-boots from saved artifacts; cold compiles save into it)")
+	fleet := fs.Bool("fleet", false, "serve-bench: serve all models from one process behind a shared admission gate")
+	memBudget := fs.Int64("mem-budget", 0, "serve-bench -fleet: shared arena-byte admission budget (0 = unlimited)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -70,8 +74,12 @@ func main() {
 	case "run":
 		runCmd(*modelName, *size, float32(*gate), *device)
 	case "serve-bench":
-		serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
-			*maxConc, *maxQueue, *deadline, *faultEvery, *parallel)
+		if *fleet {
+			fleetBenchCmd(*storeDir, *requests, *workers, *maxConc, *maxQueue, *memBudget)
+		} else {
+			serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
+				*maxConc, *maxQueue, *deadline, *faultEvery, *parallel, *storeDir)
+		}
 	case "lint":
 		lintCmd(*modelName)
 	case "dot":
@@ -247,7 +255,7 @@ func runCmd(name string, size int64, gate float32, device string) {
 // breaker) on. -fault-every injects periodic kernel faults so the
 // breaker/quarantine counters move.
 func serveBenchCmd(name, device string, requests, workers, distinct,
-	maxConc, maxQueue int, deadline time.Duration, faultEvery int64, parallel int) {
+	maxConc, maxQueue int, deadline time.Duration, faultEvery int64, parallel int, storeDir string) {
 	b, ok := models.Get(name)
 	if !ok {
 		fail(fmt.Errorf("unknown model %q", name))
@@ -261,9 +269,25 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 	case "sd835-gpu":
 		dev = sod2.SD835GPU
 	}
-	c, rep, err := sod2.CompileVerified(b)
-	if err != nil {
-		fail(err)
+	var c *sod2.Compiled
+	var rep *sod2.VerifyReport
+	if storeDir != "" {
+		st, err := sod2.OpenStore(storeDir)
+		if err != nil {
+			fail(err)
+		}
+		var info sod2.BootInfo
+		c, rep, info, err = sod2.CompileStored(b, st, device)
+		if err != nil {
+			fail(err)
+		}
+		printBoot(info)
+	} else {
+		var err error
+		c, rep, err = sod2.CompileVerified(b)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if rep.Mem.Proven {
 		fmt.Printf("static verify: memory plan proven over region — shape-family serving on\n")
@@ -364,4 +388,123 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 	fmt.Printf("admission: %d admitted, %d shed (%d concurrency / %d memory), %d abandoned   retries: %d\n",
 		st.Admission.Admitted, st.Admission.Shed(), st.Admission.ShedConcurrency,
 		st.Admission.ShedMemory, st.Admission.Abandoned, st.Retries)
+}
+
+// printBoot renders one model's store-boot outcome.
+func printBoot(bi sod2.BootInfo) {
+	mode := "cold compile"
+	if bi.Warm {
+		mode = "warm boot"
+	}
+	fmt.Printf("  %-18s %-12s %9.2f ms  (verify %7.2f ms)", bi.Model, mode, bi.BootMS, bi.VerifyMS)
+	if bi.Saved {
+		fmt.Printf("  [artifact saved]")
+	}
+	if bi.CorruptFallback != nil {
+		fmt.Printf("  [corrupt artifact quarantined: %v]", bi.CorruptFallback)
+	}
+	fmt.Println()
+}
+
+// fleetBenchCmd boots every evaluation model into one serving fleet —
+// through the artifact store when -store is given, so a second run
+// warm-boots — and drives a round-robin request sweep through the
+// shared admission gate. The boot table is the cold-start vs warm-boot
+// comparison the store exists for.
+func fleetBenchCmd(storeDir string, requests, workers, maxConc, maxQueue int, memBudget int64) {
+	var st *sod2.ArtifactStore
+	if storeDir != "" {
+		var err error
+		if st, err = sod2.OpenStore(storeDir); err != nil {
+			fail(err)
+		}
+	}
+	builders := models.All()
+	cfg := sod2.FleetConfig{
+		Store: st,
+		Admission: sod2.AdmissionConfig{
+			MaxConcurrent: maxConc,
+			MaxQueue:      maxQueue,
+			MemoryBudget:  memBudget,
+		},
+	}
+	bootStart := time.Now()
+	f, err := sod2.BootFleet(builders, cfg)
+	if err != nil {
+		fail(err)
+	}
+	bootWall := time.Since(bootStart)
+
+	fmt.Printf("fleet boot (%d models):\n", len(builders))
+	for _, bi := range f.Boots() {
+		printBoot(bi)
+	}
+	warm, cold := f.WarmCount()
+	fmt.Printf("fleet boot: %d warm / %d cold in %v\n", warm, cold, bootWall.Round(time.Millisecond))
+	ctr := sod2.BootCounters()
+	fmt.Printf("compile counters: %d full compiles, %d warm loads, %d plan searches, %d wave builds, %d verifier runs\n",
+		ctr.FullCompiles, ctr.WarmLoads, ctr.PlanSearches, ctr.WaveBuilds, ctr.VerifyRuns)
+	if st != nil {
+		ss := st.Stats()
+		fmt.Printf("store: %d saves, %d loads, %d misses, %d corrupt, %d quarantined, %d temps swept\n",
+			ss.Saves, ss.Loads, ss.Misses, ss.Corrupt, ss.Quarantined, ss.TempsSwept)
+	}
+
+	// Round-robin request sweep across the whole fleet.
+	type target struct {
+		name   string
+		inputs map[string]*tensor.Tensor
+	}
+	targets := make([]target, len(builders))
+	for i, b := range builders {
+		targets[i] = target{name: b.Name, inputs: b.Inputs(tensor.NewRNG(42), b.MinSize, 0.5)}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var served, shed, failed atomic.Int64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tg := targets[i%len(targets)]
+				_, _, err := f.Infer(tg.name, tg.inputs)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, sod2.ErrOverloaded):
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("sweep: %d requests over %d models, %d workers\n", requests, len(targets), workers)
+	fmt.Printf("wall: %v   throughput: %.1f req/s   served: %d   shed: %d   failed: %d\n",
+		wall.Round(time.Millisecond), float64(requests)/wall.Seconds(), served.Load(), shed.Load(), failed.Load())
+	fs := f.Stats()
+	names := make([]string, 0, len(fs.PerModel))
+	for name := range fs.PerModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ms := fs.PerModel[name]
+		fmt.Printf("  %-18s share %10d B   admitted %5d   shed %4d\n",
+			name, ms.ShareBytes, ms.Admitted, ms.Shed)
+	}
+	fmt.Printf("admission (global): %d admitted, %d shed (%d concurrency / %d memory)\n",
+		fs.Global.Admitted, fs.Global.Shed(), fs.Global.ShedConcurrency, fs.Global.ShedMemory)
 }

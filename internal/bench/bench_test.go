@@ -20,7 +20,7 @@ func runExp(t *testing.T, id string) string {
 }
 
 func TestExperimentIDs(t *testing.T) {
-	if len(Experiments()) != 16 {
+	if len(Experiments()) != 17 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 	s := NewSuite(Options{Samples: 1, Out: &bytes.Buffer{}})

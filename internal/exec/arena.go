@@ -105,6 +105,23 @@ func (a *Arena) Release() {
 	arenaPools[a.cls].Put(buf) //nolint:staticcheck // slice header allocation is amortized
 }
 
+// DrainArenaPools discards every idle pooled arena backing buffer and
+// returns how many were dropped. The pools are process-global (shared
+// by every Compiled and Session), so draining releases the retained
+// float32 buffers to the garbage collector at the cost of re-allocation
+// by whoever runs next — the graceful-shutdown path. Buffers checked
+// out by in-flight runs are untouched (their Release simply repopulates
+// the pool). Safe for concurrent use: the pools are never reassigned,
+// only emptied one Get at a time.
+func DrainArenaPools() (buffers int) {
+	for i := range arenaPools {
+		for arenaPools[i].Get() != nil {
+			buffers++
+		}
+	}
+	return buffers
+}
+
 // Detach replaces every tensor in outputs whose storage aliases the
 // arena's backing buffer with an independent clone, so the arena can be
 // Release()d while the outputs live on. Aliases are detected by storage

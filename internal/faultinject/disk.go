@@ -1,0 +1,80 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+)
+
+// Disk injectors: deterministic on-disk corruption primitives for the
+// compiled-artifact chaos suite. Each one mutates a file the way a real
+// failure mode would — a flipped bit (media/DMA corruption), a
+// truncated tail (torn write, full disk), a rewritten header field
+// (version skew from a binary up/downgrade) — so the artifact store's
+// defensive loading can be soak-tested exactly like the kernel-level
+// injectors soak-test serving. All primitives are byte-precise and
+// idempotent-free by design: the same call always produces the same
+// damage, so every corruption-suite failure is replayable.
+
+// FlipBit flips one bit of the file: bit (bitOffset % 8) of byte
+// (bitOffset / 8). The offset must be inside the file.
+func FlipBit(path string, bitOffset int64) error {
+	if bitOffset < 0 {
+		return fmt.Errorf("faultinject: FlipBit: negative offset %d", bitOffset)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultinject: FlipBit: %w", err)
+	}
+	byteOff := bitOffset / 8
+	if byteOff >= int64(len(data)) {
+		return fmt.Errorf("faultinject: FlipBit: offset %d beyond file size %d", byteOff, len(data))
+	}
+	data[byteOff] ^= 1 << (bitOffset % 8)
+	return writeInPlace(path, data)
+}
+
+// TruncateFile cuts the file to keep bytes (a torn write: the tail of
+// the artifact never hit the disk). keep may be 0 (fully torn) but not
+// negative or beyond the current size.
+func TruncateFile(path string, keep int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("faultinject: TruncateFile: %w", err)
+	}
+	if keep < 0 || keep > fi.Size() {
+		return fmt.Errorf("faultinject: TruncateFile: keep %d out of range [0, %d]", keep, fi.Size())
+	}
+	return os.Truncate(path, keep)
+}
+
+// OverwriteAt splices data over the file at off without changing its
+// length beyond the write — the shape of an in-place header rewrite.
+// Version-skew injection overwrites the schema-version field at the
+// format's published offset.
+func OverwriteAt(path string, off int64, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("faultinject: OverwriteAt: negative offset %d", off)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("faultinject: OverwriteAt: %w", err)
+	}
+	_, werr := f.WriteAt(data, off)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("faultinject: OverwriteAt: %w", werr)
+	}
+	return nil
+}
+
+// writeInPlace rewrites the file's bytes without going through a
+// temp+rename — corruption is deliberately NOT crash-safe.
+func writeInPlace(path string, data []byte) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, fi.Mode().Perm())
+}

@@ -1,0 +1,469 @@
+package frameworks
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/fusion"
+	"repro/internal/graph"
+	"repro/internal/guard"
+	"repro/internal/lattice"
+	"repro/internal/models"
+	"repro/internal/mvc"
+	"repro/internal/plan"
+	"repro/internal/rdp"
+	"repro/internal/staticverify"
+	"repro/internal/symbolic"
+)
+
+// This file is the bridge between the live Compiled and the on-disk
+// artifact store: Snapshot serializes a compiled+verified model into an
+// artifact.Manifest, CompileWithStore boots a model through the store
+// (warm when a valid artifact exists, cold otherwise), and the loader
+// treats everything it reads as untrusted — names are re-resolved
+// against the freshly built graph, the static verifier re-proves the
+// loaded plans (verify-on-load), and the re-proof is cross-checked
+// against the stored verdicts. Any disagreement quarantines the file
+// and falls back to a full recompile; a warm boot can therefore be
+// slower than promised, but never wrong.
+
+// ModelHash fingerprints a built graph (structure + weights) through
+// its canonical JSON serialization — the model-hash component of the
+// store key. Two binaries that build byte-identical graphs share
+// artifacts; any model edit misses cleanly.
+func ModelHash(g *graph.Graph) (string, error) {
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		return "", fmt.Errorf("frameworks: hash model: %w", err)
+	}
+	return artifact.HashBytes(buf.Bytes()), nil
+}
+
+// shapeDigest fingerprints the RDP fixed point: every (value, shape,
+// tracked-value) pair in sorted order. A loader whose analyzer resolves
+// the same graph differently detects the drift as version skew instead
+// of re-proving plans against shapes they were not planned for.
+func shapeDigest(infos map[string]lattice.Info) string {
+	names := make([]string, 0, len(infos))
+	for name := range infos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(infos[name].String())
+		b.WriteByte('\n')
+	}
+	return artifact.HashBytes([]byte(b.String()))
+}
+
+// Snapshot serializes a compiled and verified model into a manifest for
+// the artifact store. rep must be the model's current static-verifier
+// report (c.Verify()).
+func Snapshot(c *Compiled, rep *staticverify.Report, key artifact.Key) *artifact.Manifest {
+	m := &artifact.Manifest{
+		Meta: artifact.MetaSection{
+			Model:     c.Builder.Name,
+			ModelHash: key.ModelHash,
+			Device:    key.Device,
+			NodeCount: len(c.Graph.Nodes),
+		},
+		RDP: artifact.RDPSection{
+			Iterations:       c.RDPResult.Iterations,
+			BackwardResolved: c.RDPResult.BackwardResolved,
+			ShapeDigest:      shapeDigest(c.Infos),
+		},
+	}
+
+	// SEP: the planned order plus top-level sub-graph metadata. Body
+	// (If/Loop) sub-graphs are recomputed at load — their nodes live in
+	// attribute graphs, not the top-level node table the loader resolves
+	// names against.
+	topLevel := make(map[*graph.Node]bool, len(c.Graph.Nodes))
+	for _, n := range c.Graph.Nodes {
+		topLevel[n] = true
+	}
+	m.SEP.Order = nodeNames(c.ExecPlan.Order)
+	m.SEP.PeakBytes = c.ExecPlan.PeakBytes
+	for _, sg := range c.ExecPlan.Subgraphs {
+		all := true
+		for _, n := range sg.Nodes {
+			if !topLevel[n] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		m.SEP.Subgraphs = append(m.SEP.Subgraphs, artifact.SubgraphMeta{
+			ID: sg.ID, Class: uint8(sg.Class), Method: sg.Method,
+			Versions: sg.Versions, Nodes: nodeNames(sg.Nodes),
+		})
+	}
+
+	if c.WavePlan != nil {
+		m.Waves = &artifact.WaveSection{
+			Ranges:   c.WavePlan.Ranges,
+			MemCap:   c.WavePlan.MemCap,
+			MaxWidth: c.WavePlan.MaxWidth,
+		}
+	}
+
+	m.Region = map[string]artifact.IntervalDTO{}
+	for sym, iv := range rep.Region {
+		m.Region[sym] = artifact.IntervalDTO{Lo: iv.Lo, Hi: iv.Hi, Stride: iv.Stride}
+	}
+	for _, f := range c.Contract().Facts {
+		m.Facts = append(m.Facts, artifact.FactDTO{
+			Symbol: f.Symbol, Kind: uint8(f.Kind),
+			Min: f.Min, Max: f.Max, Mod: f.Mod, Rem: f.Rem,
+		})
+	}
+
+	if rep.Mem.Proven && rep.Mem.Plan != nil {
+		offs := make(map[string]int64, len(rep.Mem.Plan.Offsets))
+		for name, off := range rep.Mem.Plan.Offsets {
+			offs[name] = off
+		}
+		m.MemPlan = &artifact.MemPlanSection{
+			ArenaSize: rep.Mem.Plan.ArenaSize,
+			Strategy:  rep.Mem.Plan.Strategy,
+			Offsets:   offs,
+		}
+	}
+
+	m.Verdicts = artifact.VerdictSection{
+		ExecProven:    rep.Exec.Proven,
+		MemProven:     rep.Mem.Proven,
+		MemReason:     rep.Mem.Reason,
+		MemArenaSize:  rep.Mem.ArenaSize,
+		MemBuffers:    rep.Mem.Buffers,
+		WaveProven:    rep.Wave.Proven,
+		WaveReason:    rep.Wave.Reason,
+		WaveArenaSize: rep.Wave.ArenaSize,
+		LintErrors:    rep.Errors(),
+		DiagCodes:     diagCodes(rep),
+	}
+	return m
+}
+
+func nodeNames(nodes []*graph.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// diagCodes returns the sorted distinct diagnostic codes of a report —
+// the stable fingerprint of the lint verdict.
+func diagCodes(rep *staticverify.Report) []string {
+	seen := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		seen[d.Code] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loadError is an internal, pre-quarantine description of why a loaded
+// manifest cannot be trusted. CompileWithStore converts it into a
+// quarantine + *artifact.CorruptError.
+type loadError struct {
+	section, reason, detail string
+}
+
+func (e *loadError) Error() string {
+	return fmt.Sprintf("%s [%s]: %s", e.section, e.reason, e.detail)
+}
+
+// compileFromManifest reconstructs a Compiled from a manifest, treating
+// every stored reference as untrusted: node names must resolve against
+// the freshly built graph exactly once, wave ranges must partition the
+// order, and the RDP digest must match this binary's analysis. Cheap
+// derivations (fusion, MVC, BFS baseline, body sub-graphs) are
+// recomputed; the SEP search and wavefront construction are not — that
+// is the work the store exists to skip.
+func compileFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manifest) (*Compiled, *loadError) {
+	if man.Meta.NodeCount != len(g.Nodes) {
+		return nil, &loadError{secName("meta"), "graph-mismatch",
+			fmt.Sprintf("artifact has %d nodes, graph has %d", man.Meta.NodeCount, len(g.Nodes))}
+	}
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		return nil, &loadError{secName("rdp"), "graph-mismatch", err.Error()}
+	}
+	if got := shapeDigest(res.Infos); got != man.RDP.ShapeDigest {
+		return nil, &loadError{secName("rdp"), "version-skew",
+			fmt.Sprintf("RDP shape digest %s, artifact was compiled against %s", got, man.RDP.ShapeDigest)}
+	}
+
+	byName := make(map[string]*graph.Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		byName[n.Name] = n
+	}
+	resolve := func(section string, names []string) ([]*graph.Node, *loadError) {
+		out := make([]*graph.Node, len(names))
+		for i, name := range names {
+			n, ok := byName[name]
+			if !ok {
+				return nil, &loadError{section, "graph-mismatch",
+					fmt.Sprintf("node %q not in graph", name)}
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+
+	// The stored order must schedule every top-level node exactly once.
+	if len(man.SEP.Order) != len(g.Nodes) {
+		return nil, &loadError{secName("sep"), "graph-mismatch",
+			fmt.Sprintf("order has %d steps, graph has %d nodes", len(man.SEP.Order), len(g.Nodes))}
+	}
+	order, lerr := resolve(secName("sep"), man.SEP.Order)
+	if lerr != nil {
+		return nil, lerr
+	}
+	seen := make(map[*graph.Node]bool, len(order))
+	for _, n := range order {
+		if seen[n] {
+			return nil, &loadError{secName("sep"), "graph-mismatch",
+				fmt.Sprintf("node %q scheduled twice", n.Name)}
+		}
+		seen[n] = true
+	}
+
+	c := &Compiled{Builder: b, Graph: g, Infos: res.Infos, RDPResult: res}
+	c.FusionRDP = fusion.Fuse(g, res.Infos, fusion.RDP)
+	c.FusionStatic = fusion.Fuse(g, res.Infos, fusion.Static)
+	c.ExecPlan = &plan.Plan{Order: order, PeakBytes: man.SEP.PeakBytes}
+	for _, sm := range man.SEP.Subgraphs {
+		nodes, lerr := resolve(secName("sep"), sm.Nodes)
+		if lerr != nil {
+			return nil, lerr
+		}
+		c.ExecPlan.Subgraphs = append(c.ExecPlan.Subgraphs, &plan.Subgraph{
+			ID: sm.ID, Nodes: nodes, Class: plan.SubgraphClass(sm.Class),
+			Versions: sm.Versions, Method: sm.Method,
+		})
+	}
+	c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
+	c.NaiveOrder = plan.BFSOrder(g)
+	if man.Waves != nil {
+		wp, err := plan.WavefrontsFromRanges(order, man.Waves.Ranges, man.Waves.MemCap)
+		if err != nil {
+			return nil, &loadError{secName("waves"), "graph-mismatch", err.Error()}
+		}
+		c.WavePlan = wp
+	}
+
+	c.presetFacts = make([]guard.Fact, 0, len(man.Facts))
+	for _, f := range man.Facts {
+		c.presetFacts = append(c.presetFacts, guard.Fact{
+			Symbol: f.Symbol, Kind: guard.FactKind(f.Kind),
+			Min: f.Min, Max: f.Max, Mod: f.Mod, Rem: f.Rem,
+		})
+	}
+	c.presetRegion = staticverify.Region{}
+	for sym, iv := range man.Region {
+		c.presetRegion[sym] = symbolic.NewInterval(iv.Lo, iv.Hi, iv.Stride)
+	}
+
+	c.compileSubgraphs()
+	c.buildHotspotIndex()
+	return c, nil
+}
+
+// secName keeps loadError section labels aligned with the on-disk
+// section names without exporting them from artifact.
+func secName(s string) string { return s }
+
+// crossCheckVerdicts compares a verify-on-load report against the
+// verdicts stored with the artifact. The loaded plans are served only
+// if this binary proves exactly what the compiling binary proved —
+// same verdicts, same arena footprints, bit-identical offsets, same
+// lint fingerprint. Anything else means the analyses drifted (or the
+// file lies) and the artifact must not be trusted.
+func crossCheckVerdicts(rep *staticverify.Report, man *artifact.Manifest) *loadError {
+	v := man.Verdicts
+	mismatch := func(detail string) *loadError {
+		return &loadError{secName("verdicts"), "proof-mismatch", detail}
+	}
+	if !rep.Exec.Proven {
+		return mismatch("stored execution plan no longer proves: " + rep.Exec.Reason)
+	}
+	if rep.Exec.Proven != v.ExecProven {
+		return mismatch("execution-plan verdict drifted")
+	}
+	if rep.Mem.Proven != v.MemProven {
+		return mismatch(fmt.Sprintf("memory verdict drifted: stored proven=%v, re-proof proven=%v (%s)",
+			v.MemProven, rep.Mem.Proven, rep.Mem.Reason))
+	}
+	if rep.Mem.Proven {
+		if rep.Mem.ArenaSize != v.MemArenaSize || rep.Mem.Buffers != v.MemBuffers {
+			return mismatch(fmt.Sprintf("memory proof drifted: stored arena %d (%d bufs), re-proof %d (%d bufs)",
+				v.MemArenaSize, v.MemBuffers, rep.Mem.ArenaSize, rep.Mem.Buffers))
+		}
+		if man.MemPlan == nil {
+			return mismatch("memory proven but plan section missing")
+		}
+		if len(rep.Mem.Plan.Offsets) != len(man.MemPlan.Offsets) {
+			return mismatch(fmt.Sprintf("memory plan has %d buffers, artifact stored %d",
+				len(rep.Mem.Plan.Offsets), len(man.MemPlan.Offsets)))
+		}
+		for name, off := range rep.Mem.Plan.Offsets {
+			stored, ok := man.MemPlan.Offsets[name]
+			if !ok || stored != off {
+				return mismatch(fmt.Sprintf("offset of %q drifted: stored %d, re-proof %d", name, stored, off))
+			}
+		}
+	}
+	if rep.Wave.Proven != v.WaveProven {
+		return mismatch(fmt.Sprintf("wavefront verdict drifted: stored proven=%v, re-proof proven=%v (%s)",
+			v.WaveProven, rep.Wave.Proven, rep.Wave.Reason))
+	}
+	if rep.Wave.Proven && rep.Wave.ArenaSize != v.WaveArenaSize {
+		return mismatch(fmt.Sprintf("widened arena drifted: stored %d, re-proof %d",
+			v.WaveArenaSize, rep.Wave.ArenaSize))
+	}
+	if got := rep.Errors(); got != v.LintErrors {
+		return mismatch(fmt.Sprintf("lint verdict drifted: stored %d errors, re-run %d", v.LintErrors, got))
+	}
+	if got := diagCodes(rep); !equalStrings(got, v.DiagCodes) {
+		return mismatch(fmt.Sprintf("diagnostic codes drifted: stored %v, re-run %v", v.DiagCodes, got))
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BootInfo describes how one model came up through the store.
+type BootInfo struct {
+	Model string
+	Key   artifact.Key
+	// Warm reports the model was reconstructed from a stored artifact
+	// (verify-on-load passed); false means a full cold compile ran.
+	Warm bool
+	// BootMS is the end-to-end boot time; VerifyMS the static-verifier
+	// share of it (cold compile-time verification, or verify-on-load).
+	BootMS, VerifyMS float64
+	// Saved reports a cold boot persisted its artifact; SaveErr records
+	// a failed save (non-fatal: serving proceeds from memory).
+	Saved   bool
+	SaveErr error
+	// CorruptFallback is non-nil when a stored artifact existed but was
+	// refused — torn, checksum/version failure, or a failed
+	// verify-on-load proof. It is always a *artifact.CorruptError; the
+	// file has been quarantined and the model recompiled cold.
+	CorruptFallback error
+}
+
+// CompileWithStore boots one model through the artifact store:
+//
+//   - store hit + verify-on-load pass → warm boot (the SEP search and
+//     wavefront construction are skipped; the static verifier re-proves
+//     the loaded plans before anything serves from them);
+//   - store miss → cold compile + verify, then a crash-safe save;
+//   - corrupt artifact (torn/checksum/version-skew at load, or a failed
+//     verify-on-load cross-check) → the file is quarantined, the model
+//     recompiles cold, and BootInfo.CorruptFallback carries the typed
+//     *artifact.CorruptError. Corruption never panics and never fails
+//     the boot.
+//
+// st may be nil (pure cold compile, nothing persisted). The device
+// string keys the artifact per device profile.
+func CompileWithStore(b *models.Builder, st *artifact.Store, device string) (*Compiled, *staticverify.Report, BootInfo, error) {
+	start := time.Now()
+	info := BootInfo{Model: b.Name}
+	g, err := buildGraph(b)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	hash, err := ModelHash(g)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	key := artifact.Key{ModelHash: hash, Device: device}
+	info.Key = key
+
+	if st != nil {
+		man, lerr := st.Load(key)
+		switch {
+		case lerr == nil:
+			c, rep, cerr := bootFromManifest(b, g, man, st, key, &info)
+			if cerr == nil {
+				info.Warm = true
+				info.BootMS = msSince(start)
+				return c, rep, info, nil
+			}
+			info.CorruptFallback = cerr
+		case errors.Is(lerr, artifact.ErrNotFound):
+			// Clean miss: cold compile below.
+		default:
+			// Corrupt (already quarantined by the store) or I/O failure:
+			// either way the boot proceeds cold — a broken store degrades
+			// startup latency, never availability.
+			info.CorruptFallback = lerr
+		}
+	}
+
+	c, err := compileGraph(b, g)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	vstart := time.Now()
+	rep := c.Verify()
+	info.VerifyMS = msSince(vstart)
+	if st != nil {
+		if err := st.Save(key, Snapshot(c, rep, key)); err != nil {
+			info.SaveErr = err
+		} else {
+			info.Saved = true
+		}
+	}
+	info.BootMS = msSince(start)
+	return c, rep, info, nil
+}
+
+// bootFromManifest reconstructs, verifies-on-load, and cross-checks a
+// loaded artifact, quarantining it on any refusal.
+func bootFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manifest,
+	st *artifact.Store, key artifact.Key, info *BootInfo) (*Compiled, *staticverify.Report, *artifact.CorruptError) {
+	c, lerr := compileFromManifest(b, g, man)
+	if lerr == nil {
+		vstart := time.Now()
+		rep := c.Verify() // verify-on-load: the loaded plans are untrusted until re-proven
+		info.VerifyMS = msSince(vstart)
+		if lerr = crossCheckVerdicts(rep, man); lerr == nil {
+			compileCounters.warmLoads.Add(1)
+			return c, rep, nil
+		}
+	}
+	return nil, nil, st.Quarantine(key, lerr.section, lerr.reason, lerr.detail)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}

@@ -1,0 +1,296 @@
+package frameworks
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/faultinject"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// runOnce executes one deterministic sample on the planned tier and
+// returns the outputs.
+func runOnce(t *testing.T, c *Compiled, seed uint64) map[string]*tensor.Tensor {
+	t.Helper()
+	inputs := c.Builder.Inputs(tensor.NewRNG(seed), c.Builder.MinSize, 0.5)
+	res, _, err := c.GuardedRun(inputs, GuardOptions{})
+	if err != nil {
+		t.Fatalf("%s: guarded run: %v", c.Builder.Name, err)
+	}
+	return res.Outputs
+}
+
+// requireBitIdentical asserts two output maps are exactly equal —
+// same keys, same shapes, bit-identical float payloads.
+func requireBitIdentical(t *testing.T, model string, got, want map[string]*tensor.Tensor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: output count %d != %d", model, len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: output %q missing from warm boot", model, name)
+		}
+		if len(g.Shape) != len(w.Shape) {
+			t.Fatalf("%s/%s: rank %d != %d", model, name, len(g.Shape), len(w.Shape))
+		}
+		for i := range w.Shape {
+			if g.Shape[i] != w.Shape[i] {
+				t.Fatalf("%s/%s: shape %v != %v", model, name, g.Shape, w.Shape)
+			}
+		}
+		if len(g.F) != len(w.F) {
+			t.Fatalf("%s/%s: payload %d floats != %d", model, name, len(g.F), len(w.F))
+		}
+		for i := range w.F {
+			// Bit-level comparison: signed zeros and NaN payloads count.
+			if math.Float32bits(g.F[i]) != math.Float32bits(w.F[i]) {
+				t.Fatalf("%s/%s: float %d differs: %v != %v", model, name, i, g.F[i], w.F[i])
+			}
+		}
+	}
+}
+
+// TestStoreRoundTripAllModels is the tentpole acceptance test: every
+// evaluation model cold-compiles through the store, warm-boots from the
+// saved artifact (verify-on-load), and produces outputs bit-identical to
+// the in-process compile — while the warm boot provably skips the plan
+// search and wavefront construction (counters).
+func TestStoreRoundTripAllModels(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range models.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cold, _, coldInfo, err := CompileWithStore(b, st, "cpu")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coldInfo.Warm || !coldInfo.Saved {
+				t.Fatalf("first boot should be a saved cold compile, got %+v", coldInfo)
+			}
+			want := runOnce(t, cold, 7)
+
+			before := Counters()
+			warm, _, warmInfo, err := CompileWithStore(b, st, "cpu")
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := Counters()
+			if !warmInfo.Warm {
+				t.Fatalf("second boot should be warm, got %+v (fallback: %v)", warmInfo, warmInfo.CorruptFallback)
+			}
+			if after.PlanSearches != before.PlanSearches {
+				t.Errorf("warm boot ran the SEP plan search (%d -> %d)", before.PlanSearches, after.PlanSearches)
+			}
+			if after.WaveBuilds != before.WaveBuilds {
+				t.Errorf("warm boot ran wavefront construction (%d -> %d)", before.WaveBuilds, after.WaveBuilds)
+			}
+			if after.FullCompiles != before.FullCompiles {
+				t.Errorf("warm boot ran a full compile (%d -> %d)", before.FullCompiles, after.FullCompiles)
+			}
+			if after.WarmLoads != before.WarmLoads+1 {
+				t.Errorf("WarmLoads %d -> %d, want +1", before.WarmLoads, after.WarmLoads)
+			}
+			if after.VerifyRuns != before.VerifyRuns+1 {
+				t.Errorf("verify-on-load must run exactly once (%d -> %d)", before.VerifyRuns, after.VerifyRuns)
+			}
+
+			got := runOnce(t, warm, 7)
+			requireBitIdentical(t, b.Name, got, want)
+		})
+	}
+	stats := st.Stats()
+	if n := uint64(len(models.All())); stats.Saves != n || stats.Loads != n {
+		t.Errorf("store stats = %+v, want %d saves and %d loads", stats, n, n)
+	}
+	if stats.Corrupt != 0 || stats.Quarantined != 0 {
+		t.Errorf("clean round-trips quarantined something: %+v", stats)
+	}
+}
+
+// bootModel is the corruption-suite fixture: one model saved to a fresh
+// store, returning the store and key.
+func bootModel(t *testing.T, name string) (*artifact.Store, *models.Builder, artifact.Key) {
+	t.Helper()
+	b, ok := models.Get(name)
+	if !ok {
+		t.Fatalf("model %q not registered", name)
+	}
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, info, err := CompileWithStore(b, st, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Saved {
+		t.Fatalf("cold boot did not save: %+v", info)
+	}
+	return st, b, info.Key
+}
+
+// requireColdFallback asserts a boot recompiled cold because of a typed
+// corruption, with the bad file quarantined and serving still working.
+func requireColdFallback(t *testing.T, st *artifact.Store, b *models.Builder, wantReason string) {
+	t.Helper()
+	c, rep, info, err := CompileWithStore(b, st, "cpu")
+	if err != nil {
+		t.Fatalf("corrupt artifact must not fail the boot: %v", err)
+	}
+	if info.Warm {
+		t.Fatal("boot from corrupt artifact claimed to be warm")
+	}
+	var ce *artifact.CorruptError
+	if !errors.As(info.CorruptFallback, &ce) {
+		t.Fatalf("CorruptFallback = %v, want *artifact.CorruptError", info.CorruptFallback)
+	}
+	if wantReason != "" && ce.Reason != wantReason {
+		t.Errorf("reason = %q, want %q (%v)", ce.Reason, wantReason, ce)
+	}
+	if ce.QuarantinedAs == "" {
+		t.Errorf("corrupt artifact was not quarantined: %v", ce)
+	}
+	if rep == nil || c == nil {
+		t.Fatal("fallback compile returned nil")
+	}
+	runOnce(t, c, 3) // the model must still serve
+	// The fallback re-saved a clean artifact: next boot is warm again.
+	_, _, info2, err := CompileWithStore(b, st, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Warm {
+		t.Errorf("boot after fallback re-save should be warm, got %+v", info2)
+	}
+}
+
+func TestBootBitFlipFallsBack(t *testing.T) {
+	st, b, key := bootModel(t, "CodeBERT")
+	fi, err := os.Stat(st.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipBit(st.Path(key), (fi.Size()/2)*8); err != nil {
+		t.Fatal(err)
+	}
+	requireColdFallback(t, st, b, "checksum")
+}
+
+func TestBootTruncationFallsBack(t *testing.T) {
+	st, b, key := bootModel(t, "CodeBERT")
+	fi, err := os.Stat(st.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.TruncateFile(st.Path(key), fi.Size()/3); err != nil {
+		t.Fatal(err)
+	}
+	requireColdFallback(t, st, b, "torn")
+}
+
+func TestBootVersionSkewFallsBack(t *testing.T) {
+	st, b, key := bootModel(t, "CodeBERT")
+	skew := binary.LittleEndian.AppendUint32(nil, artifact.SchemaVersion+1)
+	if err := faultinject.OverwriteAt(st.Path(key), artifact.VersionOffset, skew); err != nil {
+		t.Fatal(err)
+	}
+	requireColdFallback(t, st, b, "version-skew")
+}
+
+// TestBootProofMismatchFallsBack tampers with an integrity-clean
+// artifact — the stored arena offsets are re-encoded with valid
+// checksums but no longer match what the verifier proves — so only the
+// verify-on-load cross-check can catch it.
+func TestBootProofMismatchFallsBack(t *testing.T) {
+	st, b, key := bootModel(t, "CodeBERT")
+	man, err := st.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.MemPlan == nil || len(man.MemPlan.Offsets) == 0 {
+		t.Skip("model has no proven memory plan to tamper with")
+	}
+	for name := range man.MemPlan.Offsets {
+		man.MemPlan.Offsets[name] += 64 // plausible but wrong placement
+		break
+	}
+	if err := st.Save(key, man); err != nil {
+		t.Fatal(err)
+	}
+	requireColdFallback(t, st, b, "proof-mismatch")
+}
+
+// TestBootGraphMismatchFallsBack serves an artifact whose execution
+// order references nodes the (different) model does not have.
+func TestBootGraphMismatchFallsBack(t *testing.T) {
+	st, b, key := bootModel(t, "CodeBERT")
+	man, err := st.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.SEP.Order[0] = "no_such_node"
+	if err := st.Save(key, man); err != nil {
+		t.Fatal(err)
+	}
+	requireColdFallback(t, st, b, "graph-mismatch")
+}
+
+// TestWarmBootRegionServing: the warm-booted model must serve the
+// shape-family fast path off its re-proven region exactly like the
+// in-process compile would.
+func TestWarmBootRegionServing(t *testing.T) {
+	st, b, _ := bootModel(t, "CodeBERT")
+	warm, rep, info, err := CompileWithStore(b, st, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Warm {
+		t.Fatalf("want warm boot, got %+v", info)
+	}
+	if !rep.Mem.Proven {
+		t.Skip("memory proof not held for this model")
+	}
+	inputs := b.Inputs(tensor.NewRNG(11), b.MinSize, 0.5)
+	_, gr, err := warm.GuardedRun(inputs, GuardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gr.RegionCacheHit {
+		t.Error("warm-booted model did not serve from the region proof")
+	}
+}
+
+// TestQuarantineEvidencePath: the quarantined file sits next to the
+// store with a .quarantine suffix for post-mortem inspection.
+func TestQuarantineEvidencePath(t *testing.T) {
+	st, b, key := bootModel(t, "CodeBERT")
+	if err := faultinject.TruncateFile(st.Path(key), 4); err != nil {
+		t.Fatal(err)
+	}
+	_, _, info, err := CompileWithStore(b, st, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *artifact.CorruptError
+	if !errors.As(info.CorruptFallback, &ce) {
+		t.Fatal(info.CorruptFallback)
+	}
+	if !strings.Contains(filepath.Base(ce.QuarantinedAs), ".quarantine") {
+		t.Errorf("quarantine path %q lacks the .quarantine marker", ce.QuarantinedAs)
+	}
+	if filepath.Dir(ce.QuarantinedAs) != st.Dir() {
+		t.Errorf("quarantine left the store dir: %q", ce.QuarantinedAs)
+	}
+}

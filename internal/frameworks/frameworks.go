@@ -129,6 +129,46 @@ type Compiled struct {
 	// compile time; mvcEff previously linear-scanned all hotspots per
 	// trace event).
 	hotspotIdx map[*graph.Node]*mvc.NodeVersions
+
+	// presetFacts/presetRegion are installed by the artifact-store warm
+	// boot (artifactio.go): the contract facts and verification region
+	// persisted at compile time, used instead of re-probing the input
+	// generator. Nil on the cold path. Set only before the Compiled is
+	// published (read-only afterwards, like every compiled artifact).
+	presetFacts  []guard.Fact
+	presetRegion staticverify.Region
+}
+
+// CompileCounters snapshot how models were brought up process-wide:
+// full compiles run the planning searches; warm loads skip them. The
+// warm-boot tests assert PlanSearches does not move across a load.
+type CompileCounters struct {
+	// FullCompiles counts cold Compile() runs; WarmLoads counts models
+	// reconstructed from a stored artifact.
+	FullCompiles, WarmLoads uint64
+	// PlanSearches counts top-level SEP order searches (plan.Build on a
+	// model's main graph); WaveBuilds counts wavefront constructions.
+	// Neither moves on the warm path — that is the point of the store.
+	PlanSearches, WaveBuilds uint64
+	// VerifyRuns counts static-verifier analyses (cold compile-time
+	// verification and warm verify-on-load both count: a loaded plan is
+	// untrusted until re-proven).
+	VerifyRuns uint64
+}
+
+var compileCounters struct {
+	fullCompiles, warmLoads, planSearches, waveBuilds, verifyRuns atomic.Uint64
+}
+
+// Counters snapshots the process-wide compile counters.
+func Counters() CompileCounters {
+	return CompileCounters{
+		FullCompiles: compileCounters.fullCompiles.Load(),
+		WarmLoads:    compileCounters.warmLoads.Load(),
+		PlanSearches: compileCounters.planSearches.Load(),
+		WaveBuilds:   compileCounters.waveBuilds.Load(),
+		VerifyRuns:   compileCounters.verifyRuns.Load(),
+	}
 }
 
 // traceFlight is one in-flight Execute call other goroutines wait on.
@@ -291,9 +331,11 @@ func (c *Compiled) Stats() CacheStats {
 	return st
 }
 
-// Compile analyzes and plans a model once (SoD²'s pre-deployment work;
-// the baselines reuse only the pieces their real counterparts have).
-func Compile(b *models.Builder) (*Compiled, error) {
+// buildGraph constructs and statically pre-optimizes a model's graph —
+// the part of compilation both the cold path and the artifact-store
+// warm boot share (the warm boot needs the graph to hash it and to map
+// persisted node names back to nodes).
+func buildGraph(b *models.Builder) (*graph.Graph, error) {
 	g := b.Build()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("frameworks: %s: %w", b.Name, err)
@@ -303,6 +345,22 @@ func Compile(b *models.Builder) (*Compiled, error) {
 	if _, err := fold.Fold(g); err != nil {
 		return nil, fmt.Errorf("frameworks: %s: %w", b.Name, err)
 	}
+	return g, nil
+}
+
+// Compile analyzes and plans a model once (SoD²'s pre-deployment work;
+// the baselines reuse only the pieces their real counterparts have).
+func Compile(b *models.Builder) (*Compiled, error) {
+	g, err := buildGraph(b)
+	if err != nil {
+		return nil, err
+	}
+	return compileGraph(b, g)
+}
+
+// compileGraph runs the full cold pipeline over an already-built graph.
+func compileGraph(b *models.Builder, g *graph.Graph) (*Compiled, error) {
+	compileCounters.fullCompiles.Add(1)
 	res, err := rdp.Analyze(g, nil, rdp.Options{})
 	if err != nil {
 		return nil, err
@@ -310,6 +368,7 @@ func Compile(b *models.Builder) (*Compiled, error) {
 	c := &Compiled{Builder: b, Graph: g, Infos: res.Infos, RDPResult: res}
 	c.FusionRDP = fusion.Fuse(g, res.Infos, fusion.RDP)
 	c.FusionStatic = fusion.Fuse(g, res.Infos, fusion.Static)
+	compileCounters.planSearches.Add(1)
 	c.ExecPlan, err = plan.Build(g, res.Infos, plan.Options{Fusion: c.FusionRDP})
 	if err != nil {
 		return nil, err
@@ -319,6 +378,7 @@ func Compile(b *models.Builder) (*Compiled, error) {
 	// Wavefront partition for parallel execution (§4.3 extended to
 	// inter-op scheduling). Failure is non-fatal: serving falls back to
 	// the sequential plan.
+	compileCounters.waveBuilds.Add(1)
 	if wp, err := plan.BuildWavefronts(g, res.Infos, c.ExecPlan.Order,
 		plan.WavefrontOptions{Fusion: c.FusionRDP}); err == nil {
 		c.WavePlan = wp

@@ -92,7 +92,14 @@ type GuardReport struct {
 func (c *Compiled) Contract() *guard.Contract {
 	c.contractOnce.Do(func() {
 		ct := guard.NewContract(c.Graph, c.Infos)
-		for _, f := range c.deriveFacts() {
+		// Warm boot installs the facts persisted at compile time so the
+		// contract matches the stored proof without re-probing the input
+		// generator at both ends of the sampling range.
+		facts := c.presetFacts
+		if facts == nil {
+			facts = c.deriveFacts()
+		}
+		for _, f := range facts {
 			ct.AddFact(f)
 		}
 		c.contract = ct

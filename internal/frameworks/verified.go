@@ -40,6 +40,7 @@ func (c *Compiled) Verify() *staticverify.Report {
 		name = c.Builder.Name
 	}
 	gen := c.verifyGen.Load()
+	compileCounters.verifyRuns.Add(1)
 	in := staticverify.Input{
 		Model:  name,
 		Graph:  c.Graph,
@@ -66,6 +67,13 @@ func (c *Compiled) Verify() *staticverify.Report {
 // serve-time membership test keeps the proof honest if a request ever
 // binds them differently.
 func (c *Compiled) verifyRegion() staticverify.Region {
+	// Warm boot: the artifact stored the exact region the compile-time
+	// proof quantified over; re-prove over the same set (re-probing
+	// could only shrink or shift it, silently changing what the loaded
+	// proof means).
+	if c.presetRegion != nil {
+		return c.presetRegion
+	}
 	region := staticverify.RegionFromFacts(c.Contract().Facts)
 	b := c.Builder
 	if b == nil || b.Inputs == nil || b.MinSize <= 0 || b.MaxSize < b.MinSize {

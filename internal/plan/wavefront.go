@@ -200,6 +200,43 @@ func BuildWavefronts(g *graph.Graph, infos map[string]lattice.Info, order []*gra
 	return wp, nil
 }
 
+// WavefrontsFromRanges reconstructs a WavefrontPlan from persisted
+// half-open step ranges over an already-reconstructed order (the
+// artifact-store warm-boot path). Only the *structure* is validated
+// here — the ranges must be non-empty, contiguous, and cover the order
+// exactly — because structural damage means the artifact is corrupt.
+// The semantic properties (antichain waves, memory cap) are not
+// re-derived: the caller re-proves them with the static verifier before
+// serving anything from the loaded plan.
+func WavefrontsFromRanges(order []*graph.Node, ranges [][2]int, memCap int64) (*WavefrontPlan, error) {
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("plan: wavefronts from ranges: no ranges")
+	}
+	wp := &WavefrontPlan{MemCap: memCap, waveOf: make(map[*graph.Node]int, len(order))}
+	next := 0
+	for i, r := range ranges {
+		start, end := r[0], r[1]
+		if start != next || end <= start || end > len(order) {
+			return nil, fmt.Errorf("plan: wavefronts from ranges: range %d = [%d,%d) is not a contiguous partition of %d steps",
+				i, start, end, len(order))
+		}
+		wave := order[start:end]
+		wp.Waves = append(wp.Waves, wave)
+		wp.Ranges = append(wp.Ranges, [2]int{start, end})
+		for _, n := range wave {
+			wp.waveOf[n] = i
+		}
+		if len(wave) > wp.MaxWidth {
+			wp.MaxWidth = len(wave)
+		}
+		next = end
+	}
+	if next != len(order) {
+		return nil, fmt.Errorf("plan: wavefronts from ranges: ranges cover %d of %d steps", next, len(order))
+	}
+	return wp, nil
+}
+
 // waveLiveBytes estimates the bytes concurrently live while every node
 // of `wave` executes at once: outputs of already-scheduled nodes still
 // needed by any node outside the scheduled+wave set (or held as a wave

@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+)
+
+// SharedAdmission layers per-tenant memory shares on top of one
+// process-wide Admission gate: a fleet of models serves from a single
+// slot semaphore and global arena-byte budget, while each tenant (model)
+// is additionally held to its configured fraction of that budget so one
+// hot model cannot starve the others of arena headroom. Sheds caused by
+// a tenant's share carry the tenant key in the typed *OverloadError.
+// Safe for concurrent use.
+type SharedAdmission struct {
+	global *Admission
+
+	mu       sync.Mutex
+	share    map[string]int64 // per-key byte cap (0/absent = uncapped)
+	reserved map[string]int64
+	admitted map[string]uint64
+	shed     map[string]uint64
+}
+
+// NewSharedAdmission builds the fleet gate. cfg bounds the whole
+// process (slots, queue, global MemoryBudget); shares maps tenant key →
+// fraction of cfg.MemoryBudget that tenant may hold reserved at once.
+// Keys without a share (or with MemoryBudget <= 0) are bounded only by
+// the global gate. Fractions are clamped to [0, 1] and a configured
+// fraction of 0 still admits a tenant's first reservation (mirroring
+// the global gate's escape: one oversized estimate must not become
+// permanently inadmissible).
+func NewSharedAdmission(cfg AdmissionConfig, shares map[string]float64) *SharedAdmission {
+	s := &SharedAdmission{
+		global:   NewAdmission(cfg),
+		share:    map[string]int64{},
+		reserved: map[string]int64{},
+		admitted: map[string]uint64{},
+		shed:     map[string]uint64{},
+	}
+	if cfg.MemoryBudget > 0 {
+		for key, frac := range shares {
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			s.share[key] = int64(frac * float64(cfg.MemoryBudget))
+		}
+	}
+	return s
+}
+
+// Admit gates one request for tenant key carrying an estimated arena
+// footprint of estBytes. The global gate runs first (slots, queue,
+// whole-process memory budget), then the tenant's share ledger; a share
+// violation releases the global admission and sheds with a typed
+// *OverloadError whose Key names the tenant. The returned release func
+// is idempotent.
+func (s *SharedAdmission) Admit(ctx context.Context, key string, estBytes int64) (func(), error) {
+	release, err := s.global.Admit(ctx, estBytes)
+	if err != nil {
+		var oe *OverloadError
+		if AsOverload(err, &oe) {
+			oe.Key = key
+			s.mu.Lock()
+			s.shed[key]++
+			s.mu.Unlock()
+		}
+		return nil, err
+	}
+
+	s.mu.Lock()
+	cap, capped := s.share[key]
+	if capped && estBytes > 0 && s.reserved[key] > 0 && s.reserved[key]+estBytes > cap {
+		held := s.reserved[key]
+		s.shed[key]++
+		s.mu.Unlock()
+		release()
+		return nil, &OverloadError{Resource: "memory", Key: key,
+			ReservedBytes: held, WantBytes: estBytes, BudgetBytes: cap}
+	}
+	if capped && estBytes > 0 {
+		s.reserved[key] += estBytes
+	}
+	s.admitted[key]++
+	s.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if capped && estBytes > 0 {
+				s.mu.Lock()
+				s.reserved[key] -= estBytes
+				s.mu.Unlock()
+			}
+			release()
+		})
+	}, nil
+}
+
+// AsOverload is errors.As specialized for *OverloadError (avoids the
+// reflect-based path in the hot shed path and keeps callers terse).
+func AsOverload(err error, out **OverloadError) bool {
+	for err != nil {
+		if oe, ok := err.(*OverloadError); ok {
+			*out = oe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// ShareStats snapshots one tenant of a SharedAdmission.
+type ShareStats struct {
+	// ShareBytes is the tenant's configured cap (0 = uncapped);
+	// ReservedBytes its live reservation.
+	ShareBytes, ReservedBytes int64
+	// Admitted and Shed count this tenant's gate outcomes (Shed includes
+	// both share violations and global-gate sheds attributed to the
+	// tenant's requests).
+	Admitted, Shed uint64
+}
+
+// Global snapshots the process-wide gate under the shares.
+func (s *SharedAdmission) Global() AdmissionStats { return s.global.Stats() }
+
+// PerKey snapshots every tenant the gate has seen or configured.
+func (s *SharedAdmission) PerKey() map[string]ShareStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]ShareStats, len(s.admitted)+len(s.share))
+	touch := func(key string) {
+		st := out[key]
+		st.ShareBytes = s.share[key]
+		st.ReservedBytes = s.reserved[key]
+		st.Admitted = s.admitted[key]
+		st.Shed = s.shed[key]
+		out[key] = st
+	}
+	for key := range s.share {
+		touch(key)
+	}
+	for key := range s.admitted {
+		touch(key)
+	}
+	for key := range s.shed {
+		touch(key)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSharedAdmissionShares(t *testing.T) {
+	ctx := context.Background()
+	sa := NewSharedAdmission(AdmissionConfig{MemoryBudget: 1000},
+		map[string]float64{"a": 0.5, "b": 0.5})
+
+	relA, err := sa.Admit(ctx, "a", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a holds 400 of its 500-byte share: another 200 does not fit.
+	_, err = sa.Admit(ctx, "a", 200)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OverloadError, got %v", err)
+	}
+	if oe.Key != "a" || oe.Resource != "memory" {
+		t.Errorf("shed = %+v, want memory shed keyed to a", oe)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Error("typed shed must match ErrOverloaded")
+	}
+	// b's share is untouched by a's saturation.
+	relB, err := sa.Admit(ctx, "b", 400)
+	if err != nil {
+		t.Fatalf("b must be isolated from a's saturation: %v", err)
+	}
+	relA()
+	relA() // idempotent
+	// a's share is free again.
+	relA2, err := sa.Admit(ctx, "a", 200)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	relA2()
+	relB()
+
+	pk := sa.PerKey()
+	if pk["a"].Shed != 1 || pk["b"].Shed != 0 {
+		t.Errorf("per-key sheds = a:%d b:%d, want 1/0", pk["a"].Shed, pk["b"].Shed)
+	}
+	if pk["a"].Admitted != 2 || pk["b"].Admitted != 1 {
+		t.Errorf("per-key admitted = a:%d b:%d, want 2/1", pk["a"].Admitted, pk["b"].Admitted)
+	}
+	if g := sa.Global(); g.ReservedBytes != 0 {
+		t.Errorf("global reservation leaked: %d", g.ReservedBytes)
+	}
+}
+
+func TestSharedAdmissionFirstReservationEscape(t *testing.T) {
+	// One estimate larger than the whole share must still admit when the
+	// tenant holds nothing — same escape the global gate gives.
+	sa := NewSharedAdmission(AdmissionConfig{MemoryBudget: 1000},
+		map[string]float64{"a": 0.1})
+	rel, err := sa.Admit(context.Background(), "a", 900)
+	if err != nil {
+		t.Fatalf("first reservation must always admit: %v", err)
+	}
+	defer rel()
+	if _, err := sa.Admit(context.Background(), "a", 50); err == nil {
+		t.Fatal("second reservation past the share must shed")
+	}
+}
+
+func TestSharedAdmissionGlobalShedAttributed(t *testing.T) {
+	// A global-budget shed still names the tenant whose request it was.
+	sa := NewSharedAdmission(AdmissionConfig{MemoryBudget: 1000},
+		map[string]float64{"a": 1, "b": 1})
+	rel, err := sa.Admit(context.Background(), "a", 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = sa.Admit(context.Background(), "b", 200)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want global shed, got %v", err)
+	}
+	if oe.Key != "b" {
+		t.Errorf("global shed attributed to %q, want b", oe.Key)
+	}
+	if sa.PerKey()["b"].Shed != 1 {
+		t.Error("global shed not counted against the tenant")
+	}
+}
+
+func TestSharedAdmissionUncappedKey(t *testing.T) {
+	sa := NewSharedAdmission(AdmissionConfig{MemoryBudget: 1000},
+		map[string]float64{"a": 0.1})
+	// "c" has no share: bounded only by the global budget.
+	rel1, err := sa.Admit(context.Background(), "c", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := sa.Admit(context.Background(), "c", 400)
+	if err != nil {
+		t.Fatalf("uncapped key must pass on global headroom: %v", err)
+	}
+	rel1()
+	rel2()
+	if st := sa.PerKey()["c"]; st.ShareBytes != 0 || st.Admitted != 2 {
+		t.Errorf("uncapped stats = %+v", st)
+	}
+}
+
+func TestSharedAdmissionConcurrencyShed(t *testing.T) {
+	sa := NewSharedAdmission(AdmissionConfig{MaxConcurrent: 1}, nil)
+	rel, err := sa.Admit(context.Background(), "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = sa.Admit(context.Background(), "b", 0)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Resource != "concurrency" || oe.Key != "b" {
+		t.Fatalf("want concurrency shed keyed to b, got %v", err)
+	}
+}

@@ -105,10 +105,75 @@ type Session struct {
 
 	mu       sync.Mutex
 	inflight map[uint64]*inferFlight
+	closed   bool
+	active   int           // requests between begin() and end()
+	idle     chan struct{} // closed when active drops to 0 (lazily made by Close)
 
 	requests  atomic.Uint64
 	coalesced atomic.Uint64
 	retries   atomic.Uint64
+}
+
+// ErrClosed is returned by every inference entry point after Close has
+// been called on the session (use errors.Is).
+var ErrClosed = errors.New("sod2: session closed")
+
+// begin admits one request into the session's in-flight set, refusing
+// when the session is closed. Every admission must be paired with end().
+func (s *Session) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.active++
+	return nil
+}
+
+// end retires one request; the last one out signals a waiting Close.
+func (s *Session) end() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// Close shuts the session down gracefully: new requests (including
+// coalesced joins) are refused with ErrClosed immediately, requests
+// already admitted drain to completion bounded by ctx, and once drained
+// the process-global pooled arena buffers are released to the garbage
+// collector (other sessions simply re-allocate on their next request).
+// If ctx ends first, Close returns ctx's error with the still-in-flight
+// count — the session stays closed to new work and the stragglers keep
+// running to completion under their own contexts. Idempotent and safe
+// for concurrent use; later Closes wait for the same drain.
+func (s *Session) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	var idle chan struct{}
+	if s.active > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.mu.Unlock()
+
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			s.mu.Lock()
+			active := s.active
+			s.mu.Unlock()
+			return fmt.Errorf("sod2: close: %d request(s) still in flight: %w", active, ctx.Err())
+		}
+	}
+	exec.DrainArenaPools()
+	return nil
 }
 
 type inferFlight struct {
@@ -178,6 +243,10 @@ func (s *Session) InferConcurrent(inputs map[string]*Tensor) (map[string]*Tensor
 // attempts, and between executed nodes (including inside If/Loop
 // bodies).
 func (s *Session) InferConcurrentCtx(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, Report, error) {
+	if err := s.begin(); err != nil {
+		return nil, Report{}, err
+	}
+	defer s.end()
 	s.requests.Add(1)
 	return s.serve(ctx, Sample{Inputs: inputs})
 }
@@ -198,6 +267,10 @@ func (s *Session) InferSampleCtx(ctx context.Context, sample Sample) (map[string
 	if sample.ID == 0 {
 		return s.InferConcurrentCtx(ctx, sample.Inputs)
 	}
+	if err := s.begin(); err != nil {
+		return nil, Report{}, err
+	}
+	defer s.end()
 	s.requests.Add(1)
 	s.mu.Lock()
 	if fl, ok := s.inflight[sample.ID]; ok {
