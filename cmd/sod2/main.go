@@ -59,6 +59,8 @@ func main() {
 	deadline := fs.Duration("deadline", 0, "serve-bench: per-request deadline (0 = none)")
 	faultEvery := fs.Int64("fault-every", 0, "serve-bench: inject a kernel fault every Nth launch (0 = off; exercises retry/breaker/quarantine)")
 	parallel := fs.Int("parallel", 0, "serve-bench: wavefront-parallel worker pool per request (0 = sequential)")
+	schedCap := fs.Float64("sched-cap", 0, "serve-bench: live-byte cap factor k for the width-aware SEP search (0 = device default; 1 = memory-minimal order)")
+	schedWorkers := fs.Int("sched-workers", 0, "serve-bench: worker count candidate schedules are scored at (0 = default)")
 	storeDir := fs.String("store", "", "serve-bench: compiled-artifact store directory (warm-boots from saved artifacts; cold compiles save into it)")
 	fleet := fs.Bool("fleet", false, "serve-bench: serve all models from one process behind a shared admission gate")
 	memBudget := fs.Int64("mem-budget", 0, "serve-bench -fleet: shared arena-byte admission budget (0 = unlimited)")
@@ -78,7 +80,8 @@ func main() {
 			fleetBenchCmd(*storeDir, *requests, *workers, *maxConc, *maxQueue, *memBudget)
 		} else {
 			serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
-				*maxConc, *maxQueue, *deadline, *faultEvery, *parallel, *storeDir)
+				*maxConc, *maxQueue, *deadline, *faultEvery, *parallel, *storeDir,
+				*schedCap, *schedWorkers)
 		}
 	case "lint":
 		lintCmd(*modelName)
@@ -213,14 +216,9 @@ func runCmd(name string, size int64, gate float32, device string) {
 	if size == 0 {
 		size = b.MinSize
 	}
-	dev := sod2.SD888CPU
-	switch device {
-	case "sd888-gpu":
-		dev = sod2.SD888GPU
-	case "sd835-cpu":
-		dev = sod2.SD835CPU
-	case "sd835-gpu":
-		dev = sod2.SD835GPU
+	dev, ok := sod2.DeviceByName(device)
+	if !ok {
+		dev = sod2.SD888CPU
 	}
 	c, err := sod2.Compile(b)
 	if err != nil {
@@ -255,20 +253,17 @@ func runCmd(name string, size int64, gate float32, device string) {
 // breaker) on. -fault-every injects periodic kernel faults so the
 // breaker/quarantine counters move.
 func serveBenchCmd(name, device string, requests, workers, distinct,
-	maxConc, maxQueue int, deadline time.Duration, faultEvery int64, parallel int, storeDir string) {
+	maxConc, maxQueue int, deadline time.Duration, faultEvery int64, parallel int, storeDir string,
+	schedCap float64, schedWorkers int) {
 	b, ok := models.Get(name)
 	if !ok {
 		fail(fmt.Errorf("unknown model %q", name))
 	}
-	dev := sod2.SD888CPU
-	switch device {
-	case "sd888-gpu":
-		dev = sod2.SD888GPU
-	case "sd835-cpu":
-		dev = sod2.SD835CPU
-	case "sd835-gpu":
-		dev = sod2.SD835GPU
+	dev, ok := sod2.DeviceByName(device)
+	if !ok {
+		fail(fmt.Errorf("unknown device %q", device))
 	}
+	cfg := sod2.SchedConfig{Device: dev, CapFactor: schedCap, Workers: schedWorkers}
 	var c *sod2.Compiled
 	var rep *sod2.VerifyReport
 	if storeDir != "" {
@@ -277,17 +272,22 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 			fail(err)
 		}
 		var info sod2.BootInfo
-		c, rep, info, err = sod2.CompileStored(b, st, device)
+		c, rep, info, err = sod2.CompileStoredSched(b, st, device, cfg)
 		if err != nil {
 			fail(err)
 		}
 		printBoot(info)
 	} else {
 		var err error
-		c, rep, err = sod2.CompileVerified(b)
+		c, rep, err = sod2.CompileVerifiedSched(b, cfg)
 		if err != nil {
 			fail(err)
 		}
+	}
+	if sp := c.Sched(); sp.CapFactor > 0 && sp.AnchorPeakBytes > 0 {
+		fmt.Printf("sched point: k=%.2g @ %d modeled workers — peak %d B (anchor %d B, %+.1f%%)\n",
+			sp.CapFactor, sp.Workers, sp.PeakBytes, sp.AnchorPeakBytes,
+			100*(float64(sp.PeakBytes)/float64(sp.AnchorPeakBytes)-1))
 	}
 	if rep.Mem.Proven {
 		fmt.Printf("static verify: memory plan proven over region — shape-family serving on\n")

@@ -44,7 +44,11 @@ import (
 // section layout, the manifest encoding, or the semantics of a stored
 // plan must bump it; loads of other versions fail as version skew and
 // fall back to recompilation.
-const SchemaVersion uint32 = 1
+//
+// v2: SEP orders are width-aware (Pareto-scheduled) and the SEP
+// section carries the selected scheduling point; v1 artifacts hold
+// memory-minimal orders with no point and must recompile.
+const SchemaVersion uint32 = 2
 
 // Format constants. The header is:
 //

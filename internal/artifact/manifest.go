@@ -61,15 +61,23 @@ type RDPSection struct {
 	ShapeDigest      string `json:"shape_digest"`
 }
 
-// SEPSection is the memory-minimizing execution order (§4.3) — the
-// expensive search the warm boot skips — plus the top-level sub-graph
-// partition metadata. Nodes are referenced by name; the loader maps
-// them back and fails as corrupt if any name is unknown, duplicated, or
-// missing.
+// SEPSection is the planned execution order (§4.3) — the expensive
+// search the warm boot skips — plus the top-level sub-graph partition
+// metadata and the (peak-memory × makespan) frontier point the search
+// selected (cap factor, modeled worker count, anchor peak, modeled
+// makespan), so a warm boot replays the same scheduling decision.
+// Nodes are referenced by name; the loader maps them back and fails as
+// corrupt if any name is unknown, duplicated, or missing.
 type SEPSection struct {
 	Order     []string       `json:"order"`
 	PeakBytes int64          `json:"peak_bytes"`
 	Subgraphs []SubgraphMeta `json:"subgraphs"`
+	// The selected scheduling point. CapFactor 0 means the width-aware
+	// search did not run (degenerate graph).
+	CapFactor    float64 `json:"cap_factor,omitempty"`
+	SchedWorkers int     `json:"sched_workers,omitempty"`
+	AnchorPeak   int64   `json:"anchor_peak,omitempty"`
+	MakespanUS   float64 `json:"makespan_us,omitempty"`
 }
 
 // SubgraphMeta is one planning region's metadata.

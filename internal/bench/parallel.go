@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"strconv"
 
 	"repro/internal/costmodel"
@@ -16,17 +17,30 @@ import (
 var parallelWorkerSweep = []int{2, 4, 8}
 
 // ParallelRow is one model's sequential-vs-wavefront modeled latency.
+// All values are rounded at serialization time (latencies to 1 ns,
+// ratios to 4 decimals) so snapshot diffs show real changes, not float
+// noise like speedup_4w = 0.9999999999999997.
 type ParallelRow struct {
 	Model string `json:"model"`
 	// Waves and MaxWidth summarize the static wave partition.
 	Waves    int `json:"waves"`
 	MaxWidth int `json:"max_width"`
+	// CapFactor is the scheduling point the compile selected: the
+	// live-byte premium (× the memory-minimal peak) spent to widen waves
+	// (1 = the memory-minimal order itself).
+	CapFactor float64 `json:"cap_factor"`
 	// SequentialMS is the FullSoD2 modeled latency (avg over samples);
 	// ParallelMS[w] the wavefront makespan latency at w workers.
 	SequentialMS float64            `json:"sequential_ms"`
 	ParallelMS   map[string]float64 `json:"parallel_ms"`
 	// Speedup4 = SequentialMS / ParallelMS at 4 workers.
 	Speedup4 float64 `json:"speedup_4w"`
+}
+
+// roundTo rounds v to the given number of decimal places.
+func roundTo(v float64, decimals int) float64 {
+	p := math.Pow(10, float64(decimals))
+	return math.Round(v*p) / p
 }
 
 // ParallelSnapshot is the BENCH_parallel.json schema: the cost model's
@@ -48,19 +62,20 @@ func (s *Suite) Parallel() error {
 		return err
 	}
 	s.printf("\n== Wavefront parallel: modeled latency, sequential vs per-wave LPT makespan (CPU) ==\n")
-	s.printf("%-18s | %5s | %5s | %9s |", "Model", "waves", "width", "seq ms")
+	s.printf("%-18s | %5s | %5s | %4s | %9s |", "Model", "waves", "width", "k", "seq ms")
 	for _, w := range snap.Workers {
 		s.printf(" %7dw |", w)
 	}
 	s.printf(" %7s\n", "x @4w")
 	for _, r := range snap.Rows {
-		s.printf("%-18s | %5d | %5d | %9.3f |", r.Model, r.Waves, r.MaxWidth, r.SequentialMS)
+		s.printf("%-18s | %5d | %5d | %4.1f | %9.3f |", r.Model, r.Waves, r.MaxWidth, r.CapFactor, r.SequentialMS)
 		for _, w := range snap.Workers {
 			s.printf(" %8.3f |", r.ParallelMS[workerKey(w)])
 		}
 		s.printf(" %6.3fx\n", r.Speedup4)
 	}
-	s.printf("(speedup bounded by wave width: the SEP order minimizes peak memory, which serializes branches)\n")
+	s.printf("(k = live-byte premium the width-aware SEP point spends over the memory-minimal peak;\n")
+	s.printf(" control-flow models stay k=1: their branches serialize regardless of memory)\n")
 	return nil
 }
 
@@ -91,7 +106,8 @@ func (s *Suite) parallelSnapshot() (*ParallelSnapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := ParallelRow{Model: b.Name, SequentialMS: seq.avgLat(), ParallelMS: map[string]float64{}}
+		row := ParallelRow{Model: b.Name, SequentialMS: roundTo(seq.avgLat(), 6),
+			CapFactor: c.Sched.CapFactor, ParallelMS: map[string]float64{}}
 		if wp := c.WavePlan; wp != nil {
 			row.Waves = wp.NumWaves()
 			row.MaxWidth = wp.MaxWidth
@@ -103,9 +119,9 @@ func (s *Suite) parallelSnapshot() (*ParallelSnapshot, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.ParallelMS[workerKey(w)] = par.avgLat()
+			row.ParallelMS[workerKey(w)] = roundTo(par.avgLat(), 6)
 			if w == 4 && par.avgLat() > 0 {
-				row.Speedup4 = seq.avgLat() / par.avgLat()
+				row.Speedup4 = roundTo(seq.avgLat()/par.avgLat(), 4)
 			}
 		}
 		snap.Rows = append(snap.Rows, row)

@@ -34,6 +34,14 @@ type Device struct {
 	CacheBytes int64
 	// IsGPU selects GPU-specific policies (e.g. TVM-N unsupported).
 	IsGPU bool
+	// SchedCapFactor is k, the largest live-byte premium (a multiple of
+	// the memory-minimal peak) the width-aware SEP search may spend to
+	// widen wavefronts on this device. Generous where the cache is large
+	// relative to intermediate working sets (CPU), tight where memory is
+	// the scarcer resource (GPU, older parts); the cost model's
+	// MemPressure term still vetoes any point that spills the cache.
+	// <=1 disables the width-aware search (memory-minimal order only).
+	SchedCapFactor float64
 }
 
 // MemPressure returns the latency multiplier for a working set of
@@ -55,11 +63,22 @@ func (d Device) MemPressure(peakBytes int64) float64 {
 // effective fp32 GFLOPS×8 threads; Adreno 660 ≈ 1.7 TFLOPS fp16;
 // Snapdragon 835 roughly 2.5–3× weaker with a smaller cache system.
 var (
-	SD888CPU = Device{Name: "sd888-cpu", GFlops: 28, MemGBps: 18, DispatchUS: 2, MallocUS: 0.8, CacheBytes: 4 << 20}
-	SD888GPU = Device{Name: "sd888-gpu", GFlops: 220, MemGBps: 28, DispatchUS: 18, MallocUS: 6, CacheBytes: 2 << 20, IsGPU: true}
-	SD835CPU = Device{Name: "sd835-cpu", GFlops: 10, MemGBps: 8, DispatchUS: 3, MallocUS: 1.0, CacheBytes: 2 << 20, IsGPU: false}
-	SD835GPU = Device{Name: "sd835-gpu", GFlops: 60, MemGBps: 12, DispatchUS: 24, MallocUS: 8, CacheBytes: 1500 << 10, IsGPU: true}
+	SD888CPU = Device{Name: "sd888-cpu", GFlops: 28, MemGBps: 18, DispatchUS: 2, MallocUS: 0.8, CacheBytes: 4 << 20, SchedCapFactor: 8}
+	SD888GPU = Device{Name: "sd888-gpu", GFlops: 220, MemGBps: 28, DispatchUS: 18, MallocUS: 6, CacheBytes: 2 << 20, IsGPU: true, SchedCapFactor: 4}
+	SD835CPU = Device{Name: "sd835-cpu", GFlops: 10, MemGBps: 8, DispatchUS: 3, MallocUS: 1.0, CacheBytes: 2 << 20, IsGPU: false, SchedCapFactor: 4}
+	SD835GPU = Device{Name: "sd835-gpu", GFlops: 60, MemGBps: 12, DispatchUS: 24, MallocUS: 8, CacheBytes: 1500 << 10, IsGPU: true, SchedCapFactor: 2}
 )
+
+// DeviceByName resolves a device profile from its Name (the string the
+// CLI flags and the artifact-store keys use).
+func DeviceByName(name string) (Device, bool) {
+	for _, d := range []Device{SD888CPU, SD888GPU, SD835CPU, SD835GPU} {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Device{}, false
+}
 
 // OpCost returns the roofline latency (µs) of one operator execution at
 // kernel efficiency eff (1.0 = generic dynamic-shape kernel; tuned

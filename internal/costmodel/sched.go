@@ -1,0 +1,137 @@
+// Static scheduling-point selection: scoring the Pareto frontier the
+// width-aware SEP search emits (plan.ParetoFrontier) before anything
+// has executed. Per-node costs come from the lattice shapes under the
+// planner's nominal symbol binding — the compile-time analogue of
+// EventCost — and each candidate's latency is the sum of its wavefront
+// LPT makespans (the static counterpart of TraceCostParallel) scaled
+// by the cache-pressure multiplier of the candidate's peak, so a wider
+// order only wins when its parallelism buys more than its extra live
+// memory costs.
+package costmodel
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/symbolic"
+)
+
+// StaticNodeCosts evaluates every top-level node's modeled cost (µs,
+// roofline + dispatch) from the lattice shapes under env. Values whose
+// shape does not resolve to concrete dims under env (NAC, unranked,
+// unbound symbols) fall back to the registry's default cost over the
+// shapes that did resolve — candidates are compared under the same
+// approximation, so the ranking is unaffected by a uniform bias.
+func (d Device) StaticNodeCosts(g *graph.Graph, infos map[string]lattice.Info, env symbolic.Env) map[*graph.Node]float64 {
+	shapeOf := func(name string) ([]int64, bool) {
+		if name == "" {
+			return nil, true
+		}
+		s := infos[name].Shape
+		if s.Kind != lattice.ShapeRanked {
+			return nil, false
+		}
+		dims := make([]int64, len(s.Dims))
+		for i, dim := range s.Dims {
+			if !dim.IsExpr() {
+				return nil, false
+			}
+			v, err := dim.E.Eval(env)
+			if err != nil {
+				return nil, false
+			}
+			dims[i] = v
+		}
+		return dims, true
+	}
+	costs := make(map[*graph.Node]float64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		resolved := true
+		in := make([][]int64, len(n.Inputs))
+		for i, name := range n.Inputs {
+			dims, ok := shapeOf(name)
+			if !ok {
+				resolved = false
+			}
+			in[i] = dims
+		}
+		out := make([][]int64, len(n.Outputs))
+		for i, name := range n.Outputs {
+			dims, ok := shapeOf(name)
+			if !ok {
+				resolved = false
+			}
+			out[i] = dims
+		}
+		var flops, bytes int64
+		if def, ok := ops.Get(n.OpType); ok && resolved {
+			flops, bytes = def.Cost(n, in, out)
+		} else {
+			// Registered cost functions may index into shapes they expect
+			// non-empty; unresolved dims take the always-safe default.
+			flops, bytes = ops.DefaultCost(n, in, out)
+		}
+		costs[n] = d.OpCost(flops, bytes, 1) + d.DispatchUS
+	}
+	return costs
+}
+
+// SchedCandidate pairs one frontier order's wavefront partition with
+// the sequential peak the order achieves — the two coordinates
+// SelectSchedule trades off.
+type SchedCandidate struct {
+	Waves *plan.WavefrontPlan
+	// PeakBytes is the candidate order's sequential peak (plan.PeakBytes).
+	PeakBytes int64
+}
+
+// SchedScore models one candidate's latency (µs): the sum of per-wave
+// LPT makespans at `workers` workers over the static node costs, scaled
+// by the cache-pressure multiplier of the candidate's peak. A nil wave
+// plan scores +Inf (the candidate cannot be served in parallel).
+func (d Device) SchedScore(costs map[*graph.Node]float64, c SchedCandidate, workers int) float64 {
+	if c.Waves == nil {
+		return math.Inf(1)
+	}
+	var total float64
+	for _, wave := range c.Waves.Waves {
+		ws := make([]float64, len(wave))
+		for i, n := range wave {
+			ws[i] = costs[n]
+		}
+		total += Makespan(ws, workers)
+	}
+	return total * d.MemPressure(c.PeakBytes)
+}
+
+// schedGainThreshold is the relative makespan improvement a
+// higher-memory candidate must show to displace the incumbent. Near-tie
+// scores keep the lower-memory point (candidates arrive in increasing
+// memory-premium order), which also makes the selection robust against
+// float noise.
+const schedGainThreshold = 0.005
+
+// SelectSchedule picks the frontier point this device serves: walking
+// the candidates in the given (increasing memory-premium) order, a
+// candidate wins only by beating the incumbent's modeled makespan by
+// more than schedGainThreshold. Returns the winning index (-1 when no
+// candidate has a wave plan) and every candidate's score. Because the
+// memory-minimal anchor is candidate 0, the selected score never
+// exceeds the anchor's.
+func (d Device) SelectSchedule(costs map[*graph.Node]float64, cands []SchedCandidate, workers int) (int, []float64) {
+	best := -1
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = d.SchedScore(costs, c, workers)
+		if c.Waves == nil {
+			continue
+		}
+		if best < 0 || scores[i] < scores[best]*(1-schedGainThreshold) {
+			best = i
+		}
+	}
+	return best, scores
+}

@@ -1,0 +1,181 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/plan"
+	"repro/internal/rdp"
+	"repro/internal/tensor"
+)
+
+func analyzedInfos(t *testing.T, g *graph.Graph) map[string]lattice.Info {
+	t.Helper()
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Infos
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, want := range []Device{SD888CPU, SD888GPU, SD835CPU, SD835GPU} {
+		got, ok := DeviceByName(want.Name)
+		if !ok || got.Name != want.Name {
+			t.Errorf("DeviceByName(%q) = %v, %v", want.Name, got.Name, ok)
+		}
+	}
+	if _, ok := DeviceByName("nope"); ok {
+		t.Error("unknown device name resolved")
+	}
+	for _, d := range []Device{SD888CPU, SD888GPU, SD835CPU, SD835GPU} {
+		if d.SchedCapFactor <= 1 {
+			t.Errorf("%s: SchedCapFactor %v should exceed 1 (width-aware search enabled)", d.Name, d.SchedCapFactor)
+		}
+	}
+}
+
+func TestStaticNodeCosts(t *testing.T) {
+	g := graph.New("chain")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4096))
+	g.Op("Relu", "small", []string{"x"}, []string{"a"}, nil)
+	g.AddInitializer("reps", tensor.FromInts([]int64{1}, []int64{64}))
+	g.Op("Tile", "big", []string{"a", "reps"}, []string{"b"}, nil)
+	g.AddOutput("b")
+	infos := analyzedInfos(t, g)
+	costs := SD888CPU.StaticNodeCosts(g, infos, plan.NominalEnv(infos))
+	if len(costs) != len(g.Nodes) {
+		t.Fatalf("costs cover %d/%d nodes", len(costs), len(g.Nodes))
+	}
+	var small, big float64
+	for n, c := range costs {
+		if c < SD888CPU.DispatchUS {
+			t.Errorf("%s: cost %f below dispatch floor", n.Name, c)
+		}
+		switch n.Name {
+		case "small":
+			small = c
+		case "big":
+			big = c
+		}
+	}
+	// Tile moves 64x the bytes; it must model as strictly costlier.
+	if big <= small {
+		t.Errorf("Tile cost %f not above Relu cost %f", big, small)
+	}
+}
+
+func TestSchedScoreNilWaves(t *testing.T) {
+	if s := SD888CPU.SchedScore(nil, SchedCandidate{}, 4); !math.IsInf(s, 1) {
+		t.Errorf("nil wave plan scored %f, want +Inf", s)
+	}
+}
+
+// TestSelectScheduleThreshold pins the incumbent rule: a later (higher
+// memory) candidate displaces the anchor only by beating its score by
+// more than the gain threshold, so near-ties keep the low-memory point.
+func TestSelectScheduleThreshold(t *testing.T) {
+	g := graph.New("pair")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(8))
+	g.Op("Relu", "r1", []string{"x"}, []string{"a"}, nil)
+	g.Op("Sigmoid", "s1", []string{"a"}, []string{"b"}, nil)
+	g.AddOutput("b")
+	infos := analyzedInfos(t, g)
+	order, _ := g.TopoSort()
+	wp, err := plan.BuildWavefronts(g, infos, order, plan.WavefrontOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := SD888CPU.StaticNodeCosts(g, infos, plan.NominalEnv(infos))
+
+	// Identical wave plans, second only differs in peak: anchor wins.
+	same := []SchedCandidate{{Waves: wp, PeakBytes: 64}, {Waves: wp, PeakBytes: 64}}
+	best, scores := SD888CPU.SelectSchedule(costs, same, 4)
+	if best != 0 {
+		t.Errorf("tie selected candidate %d (scores %v), want anchor 0", best, scores)
+	}
+	// No candidate with waves: no selection.
+	if best, _ := SD888CPU.SelectSchedule(costs, []SchedCandidate{{}, {}}, 4); best != -1 {
+		t.Errorf("waveless frontier selected %d, want -1", best)
+	}
+	// A cache-spilling peak must score worse than a cache-resident one.
+	spill := []SchedCandidate{
+		{Waves: wp, PeakBytes: 64},
+		{Waves: wp, PeakBytes: SD888CPU.CacheBytes * 64},
+	}
+	best, scores = SD888CPU.SelectSchedule(costs, spill, 4)
+	if best != 0 || scores[1] <= scores[0] {
+		t.Errorf("cache-spilling candidate won: best=%d scores=%v", best, scores)
+	}
+}
+
+// randomCostDAG mirrors the plan package's random-DAG property fixture.
+func randomCostDAG(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("rand%d", seed))
+	g.AddInput("x", tensor.Float32, lattice.FromInts(64))
+	values := []string{"x"}
+	consumed := map[string]bool{}
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("v%d", i)
+		if len(values) >= 2 && rng.Intn(2) == 0 {
+			a := values[rng.Intn(len(values))]
+			b := values[rng.Intn(len(values))]
+			g.Op("Add", fmt.Sprintf("add%d", i), []string{a, b}, []string{out}, nil)
+			consumed[a], consumed[b] = true, true
+		} else {
+			a := values[rng.Intn(len(values))]
+			g.Op("Relu", fmt.Sprintf("relu%d", i), []string{a}, []string{out}, nil)
+			consumed[a] = true
+		}
+		values = append(values, out)
+	}
+	for _, v := range values[1:] {
+		if !consumed[v] {
+			g.AddOutput(v)
+		}
+	}
+	return g
+}
+
+// TestSelectedScheduleNeverWorseThanAnchor is the end-to-end property
+// over random DAGs: run the full frontier search + wavefront build +
+// cost-model selection and require the selected point's modeled score
+// to never exceed the memory-minimal anchor's.
+func TestSelectedScheduleNeverWorseThanAnchor(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		g := randomCostDAG(seed, 10+int(seed)%15)
+		infos := analyzedInfos(t, g)
+		p, err := plan.Build(g, infos, plan.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cands, err := plan.ParetoFrontier(g, infos, p, plan.ParetoOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		anchorPeak := cands[0].PeakBytes
+		scs := make([]SchedCandidate, len(cands))
+		for i, c := range cands {
+			wp, err := plan.BuildWavefronts(g, infos, c.Order, plan.WavefrontOptions{
+				MemCap: 8 * anchorPeak, BasePeak: anchorPeak})
+			if err != nil {
+				t.Fatalf("seed %d candidate %d: %v", seed, i, err)
+			}
+			scs[i] = SchedCandidate{Waves: wp, PeakBytes: c.PeakBytes}
+		}
+		costs := SD888CPU.StaticNodeCosts(g, infos, plan.NominalEnv(infos))
+		best, scores := SD888CPU.SelectSchedule(costs, scs, 4)
+		if best < 0 {
+			t.Fatalf("seed %d: no candidate selected", seed)
+		}
+		if scores[best] > scores[0] {
+			t.Errorf("seed %d: selected candidate %d score %f worse than anchor %f",
+				seed, best, scores[best], scores[0])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/costmodel"
 	"repro/internal/fusion"
 	"repro/internal/graph"
 	"repro/internal/guard"
@@ -92,6 +93,10 @@ func Snapshot(c *Compiled, rep *staticverify.Report, key artifact.Key) *artifact
 	}
 	m.SEP.Order = nodeNames(c.ExecPlan.Order)
 	m.SEP.PeakBytes = c.ExecPlan.PeakBytes
+	m.SEP.CapFactor = c.Sched.CapFactor
+	m.SEP.SchedWorkers = c.Sched.Workers
+	m.SEP.AnchorPeak = c.Sched.AnchorPeakBytes
+	m.SEP.MakespanUS = c.Sched.MakespanUS
 	for _, sg := range c.ExecPlan.Subgraphs {
 		all := true
 		for _, n := range sg.Nodes {
@@ -249,6 +254,16 @@ func compileFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manife
 	c.FusionRDP = fusion.Fuse(g, res.Infos, fusion.RDP)
 	c.FusionStatic = fusion.Fuse(g, res.Infos, fusion.Static)
 	c.ExecPlan = &plan.Plan{Order: order, PeakBytes: man.SEP.PeakBytes}
+	// Replay the persisted scheduling point: the warm boot serves the
+	// same frontier point the compile chose (same plan-cache keys, same
+	// serve-bench banner) with zero plan searches.
+	c.Sched = plan.SchedPoint{
+		CapFactor:       man.SEP.CapFactor,
+		Workers:         man.SEP.SchedWorkers,
+		AnchorPeakBytes: man.SEP.AnchorPeak,
+		PeakBytes:       man.SEP.PeakBytes,
+		MakespanUS:      man.SEP.MakespanUS,
+	}
 	for _, sm := range man.SEP.Subgraphs {
 		nodes, lerr := resolve(secName("sep"), sm.Nodes)
 		if lerr != nil {
@@ -393,8 +408,21 @@ type BootInfo struct {
 //     the boot.
 //
 // st may be nil (pure cold compile, nothing persisted). The device
-// string keys the artifact per device profile.
+// string keys the artifact per device profile and, when it names a
+// known cost-model profile, selects that profile's scheduling point
+// (cap factor, default modeled workers) for a cold compile.
 func CompileWithStore(b *models.Builder, st *artifact.Store, device string) (*Compiled, *staticverify.Report, BootInfo, error) {
+	cfg := SchedConfig{}
+	if d, ok := costmodel.DeviceByName(device); ok {
+		cfg.Device = d
+	}
+	return CompileWithStoreSched(b, st, device, cfg)
+}
+
+// CompileWithStoreSched is CompileWithStore with an explicit scheduling
+// configuration for the cold-compile path (warm boots replay the point
+// persisted in the artifact instead).
+func CompileWithStoreSched(b *models.Builder, st *artifact.Store, device string, cfg SchedConfig) (*Compiled, *staticverify.Report, BootInfo, error) {
 	start := time.Now()
 	info := BootInfo{Model: b.Name}
 	g, err := buildGraph(b)
@@ -429,7 +457,7 @@ func CompileWithStore(b *models.Builder, st *artifact.Store, device string) (*Co
 		}
 	}
 
-	c, err := compileGraph(b, g)
+	c, err := compileGraph(b, g, cfg)
 	if err != nil {
 		return nil, nil, info, err
 	}

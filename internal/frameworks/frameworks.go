@@ -98,6 +98,13 @@ type Compiled struct {
 	// failure — serving then stays sequential). Like every other compiled
 	// artifact it is read-only after Compile.
 	WavePlan *plan.WavefrontPlan
+	// Sched is the (peak-memory × makespan) frontier point the compile
+	// selected: ExecPlan.Order is the point's width-aware order, and
+	// Sched records the cap factor, modeled worker count, and peaks that
+	// chose it. The zero CapFactor means the width-aware search did not
+	// run (degenerate graph); it is persisted with artifacts so warm
+	// boots replay the same point, and mixed into the plan-cache key.
+	Sched plan.SchedPoint
 
 	// cacheMu guards traces and traceFlights.
 	cacheMu sync.Mutex
@@ -348,18 +355,62 @@ func buildGraph(b *models.Builder) (*graph.Graph, error) {
 	return g, nil
 }
 
+// SchedConfig selects the (peak-memory × makespan) frontier point a
+// compile serves: the device profile whose cost model scores the
+// candidates, the live-byte cap factor k, and the worker count the
+// wavefront makespan is modeled at. The zero value resolves to the
+// SD888 CPU profile with its default k at DefaultSchedWorkers.
+type SchedConfig struct {
+	Device costmodel.Device
+	// CapFactor overrides the device's SchedCapFactor (0 = device
+	// default; 1 pins the memory-minimal anchor).
+	CapFactor float64
+	// Workers is the worker count candidate makespans are modeled at
+	// (0 = DefaultSchedWorkers).
+	Workers int
+}
+
+// DefaultSchedWorkers is the worker count the scheduling point is
+// modeled at when the caller does not specify one — the serving
+// default of the wavefront executor.
+const DefaultSchedWorkers = 4
+
+func (sc SchedConfig) resolve() SchedConfig {
+	if sc.Device.Name == "" {
+		sc.Device = costmodel.SD888CPU
+	}
+	if sc.CapFactor == 0 {
+		sc.CapFactor = sc.Device.SchedCapFactor
+	}
+	if sc.CapFactor < 1 {
+		sc.CapFactor = 1
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = DefaultSchedWorkers
+	}
+	return sc
+}
+
 // Compile analyzes and plans a model once (SoD²'s pre-deployment work;
-// the baselines reuse only the pieces their real counterparts have).
+// the baselines reuse only the pieces their real counterparts have)
+// under the default scheduling configuration.
 func Compile(b *models.Builder) (*Compiled, error) {
+	return CompileSched(b, SchedConfig{})
+}
+
+// CompileSched is Compile with an explicit scheduling point
+// configuration (device profile, cap factor, modeled worker count).
+func CompileSched(b *models.Builder, cfg SchedConfig) (*Compiled, error) {
 	g, err := buildGraph(b)
 	if err != nil {
 		return nil, err
 	}
-	return compileGraph(b, g)
+	return compileGraph(b, g, cfg)
 }
 
 // compileGraph runs the full cold pipeline over an already-built graph.
-func compileGraph(b *models.Builder, g *graph.Graph) (*Compiled, error) {
+func compileGraph(b *models.Builder, g *graph.Graph, cfg SchedConfig) (*Compiled, error) {
+	cfg = cfg.resolve()
 	compileCounters.fullCompiles.Add(1)
 	res, err := rdp.Analyze(g, nil, rdp.Options{})
 	if err != nil {
@@ -375,17 +426,64 @@ func compileGraph(b *models.Builder, g *graph.Graph) (*Compiled, error) {
 	}
 	c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
 	c.NaiveOrder = plan.BFSOrder(g)
-	// Wavefront partition for parallel execution (§4.3 extended to
-	// inter-op scheduling). Failure is non-fatal: serving falls back to
-	// the sequential plan.
+	// Width-aware SEP: enumerate the (peak live bytes × makespan)
+	// frontier under the device's cap factor, score each candidate's
+	// wavefront makespan at the configured worker count, and serve the
+	// selected point. Failure is non-fatal: serving falls back to the
+	// memory-minimal sequential plan.
 	compileCounters.waveBuilds.Add(1)
-	if wp, err := plan.BuildWavefronts(g, res.Infos, c.ExecPlan.Order,
-		plan.WavefrontOptions{Fusion: c.FusionRDP}); err == nil {
-		c.WavePlan = wp
-	}
+	c.selectSchedule(cfg)
 	c.compileSubgraphs()
 	c.buildHotspotIndex()
 	return c, nil
+}
+
+// selectSchedule runs the Pareto frontier search over the anchor plan
+// in c.ExecPlan, installs the selected candidate's order and wave
+// partition, and records the chosen point in c.Sched. The wave memory
+// cap is k × anchor peak for every candidate — relative to the
+// memory-minimal baseline, never to the width-aware order's own peak
+// (which would double-count the premium).
+func (c *Compiled) selectSchedule(cfg SchedConfig) {
+	anchor := c.ExecPlan
+	anchorPeak := anchor.PeakBytes
+	cands, err := plan.ParetoFrontier(c.Graph, c.Infos, anchor, plan.ParetoOptions{
+		Fusion: c.FusionRDP, MaxFactor: cfg.CapFactor,
+	})
+	if err != nil || len(cands) == 0 {
+		// Degenerate graph: keep the sequential anchor, no wave plan.
+		return
+	}
+	memCap := int64(cfg.CapFactor * float64(anchorPeak))
+	wavePlans := make([]*plan.WavefrontPlan, len(cands))
+	scs := make([]costmodel.SchedCandidate, len(cands))
+	for i, cand := range cands {
+		wp, werr := plan.BuildWavefronts(c.Graph, c.Infos, cand.Order, plan.WavefrontOptions{
+			Fusion: c.FusionRDP, MemCap: memCap, BasePeak: anchorPeak,
+		})
+		if werr != nil {
+			continue // scores +Inf; the anchor candidate never fails
+		}
+		wavePlans[i] = wp
+		scs[i] = costmodel.SchedCandidate{Waves: wp, PeakBytes: cand.PeakBytes}
+	}
+	costs := cfg.Device.StaticNodeCosts(c.Graph, c.Infos, plan.NominalEnv(c.Infos))
+	best, scores := cfg.Device.SelectSchedule(costs, scs, cfg.Workers)
+	if best < 0 {
+		return // not even the anchor produced a wave plan
+	}
+	if best > 0 {
+		c.ExecPlan.Order = cands[best].Order
+		c.ExecPlan.PeakBytes = cands[best].PeakBytes
+	}
+	c.WavePlan = wavePlans[best]
+	c.Sched = plan.SchedPoint{
+		CapFactor:       cands[best].CapFactor,
+		Workers:         cfg.Workers,
+		AnchorPeakBytes: anchorPeak,
+		PeakBytes:       cands[best].PeakBytes,
+		MakespanUS:      scores[best],
+	}
 }
 
 // compileSubgraphs extends the fusion and MVC plans into If/Loop branch

@@ -158,13 +158,21 @@ func (pc *planCache) stats() (hits, misses uint64, entries int) {
 	return hits, misses, pc.outcomes.Len()
 }
 
-// planKey derives the shape key for one concrete input set: every graph
-// input's dtype and dims, in declaration order. Two input sets with the
-// same key bind the same symbol environment and verify identically, so
-// the key fully determines the planOutcome. Returns ok=false when an
-// input is missing (the uncached path surfaces the structured error).
+// planKey derives the shape key for one concrete input set: the
+// compile's scheduling point (cap factor @ modeled workers — a plan
+// verified for one frontier point must not serve another), then every
+// graph input's dtype and dims, in declaration order. Two input sets
+// with the same key bind the same symbol environment and verify
+// identically, so the key fully determines the planOutcome. Returns
+// ok=false when an input is missing (the uncached path surfaces the
+// structured error).
 func (c *Compiled) planKey(inputs map[string]*tensor.Tensor) (string, bool) {
 	var sb strings.Builder
+	sb.WriteString("sched:")
+	sb.WriteString(strconv.FormatFloat(c.Sched.CapFactor, 'g', -1, 64))
+	sb.WriteByte('@')
+	sb.WriteString(strconv.Itoa(c.Sched.Workers))
+	sb.WriteByte('|')
 	for _, in := range c.Graph.Inputs {
 		t := inputs[in.Name]
 		if t == nil {

@@ -16,7 +16,15 @@ import (
 // plan cache. Unprovable models keep the per-shape behavior; the report
 // records why.
 func CompileVerified(b *models.Builder) (*Compiled, *staticverify.Report, error) {
-	c, err := Compile(b)
+	return CompileVerifiedSched(b, SchedConfig{})
+}
+
+// CompileVerifiedSched is CompileVerified with an explicit scheduling
+// configuration (device profile, live-byte cap factor, modeled worker
+// count) selecting which (peak-memory × makespan) frontier point the
+// compile serves.
+func CompileVerifiedSched(b *models.Builder, cfg SchedConfig) (*Compiled, *staticverify.Report, error) {
+	c, err := CompileSched(b, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

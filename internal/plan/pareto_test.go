@@ -1,0 +1,301 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/tensor"
+)
+
+// fanGraph: k independent Tile→ReduceSum branches off one input, joined
+// by an Add chain. Each branch materializes a large intermediate, so
+// the memory-minimal order drains one branch at a time; a width-aware
+// order runs branches abreast, spending live bytes for wave width.
+func fanGraph(k int) *graph.Graph {
+	g := graph.New("fan")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(256))
+	g.AddInitializer("reps", tensor.FromInts([]int64{1}, []int64{8}))
+	tips := make([]string, k)
+	for i := 0; i < k; i++ {
+		mid := fmt.Sprintf("b%d", i)
+		tip := mid + "t"
+		g.Op("Tile", "t"+mid, []string{"x", "reps"}, []string{mid}, nil)
+		g.Op("ReduceSum", "s"+mid, []string{mid}, []string{tip}, map[string]graph.AttrValue{
+			"keepdims": graph.IntAttr(1)})
+		tips[i] = tip
+	}
+	acc := tips[0]
+	for i := 1; i < k; i++ {
+		next := fmt.Sprintf("acc%d", i)
+		g.Op("Add", fmt.Sprintf("join%d", i), []string{acc, tips[i]}, []string{next}, nil)
+		acc = next
+	}
+	g.AddOutput(acc)
+	return g
+}
+
+// randomDAG builds a uniquely-named random DAG of Relu/Add nodes over a
+// fixed-size tensor. Deterministic in seed.
+func randomDAG(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("rand%d", seed))
+	g.AddInput("x", tensor.Float32, lattice.FromInts(64))
+	values := []string{"x"}
+	consumed := map[string]bool{}
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("v%d", i)
+		if len(values) >= 2 && rng.Intn(2) == 0 {
+			a := values[rng.Intn(len(values))]
+			b := values[rng.Intn(len(values))]
+			g.Op("Add", fmt.Sprintf("add%d", i), []string{a, b}, []string{out}, nil)
+			consumed[a], consumed[b] = true, true
+		} else {
+			a := values[rng.Intn(len(values))]
+			g.Op("Relu", fmt.Sprintf("relu%d", i), []string{a}, []string{out}, nil)
+			consumed[a] = true
+		}
+		values = append(values, out)
+	}
+	// Every unconsumed value is a model output, so no node is dead.
+	for _, v := range values[1:] {
+		if !consumed[v] {
+			g.AddOutput(v)
+		}
+	}
+	return g
+}
+
+// requireTopological asserts order schedules every node after all of
+// its predecessors.
+func requireTopological(t *testing.T, g *graph.Graph, order []*graph.Node, label string) {
+	t.Helper()
+	if len(order) != len(g.Nodes) {
+		t.Fatalf("%s: order covers %d/%d nodes", label, len(order), len(g.Nodes))
+	}
+	seen := map[*graph.Node]bool{}
+	for _, n := range order {
+		for _, p := range g.Predecessors(n) {
+			if !seen[p] {
+				t.Fatalf("%s: %s scheduled before predecessor %s", label, n.Name, p.Name)
+			}
+		}
+		seen[n] = true
+	}
+}
+
+func orderNames(order []*graph.Node) []string {
+	out := make([]string, len(order))
+	for i, n := range order {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func TestParetoAnchorIsFirstCandidate(t *testing.T) {
+	g := fanGraph(6)
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := ParetoFrontier(g, infos, p, ParetoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("fan graph should admit a wider candidate, got %d", len(cands))
+	}
+	if cands[0].CapFactor != 1 {
+		t.Errorf("candidate 0 cap factor = %v, want 1", cands[0].CapFactor)
+	}
+	for i, n := range cands[0].Order {
+		if n != p.Order[i] {
+			t.Fatalf("candidate 0 diverges from anchor at step %d", i)
+		}
+	}
+	if cands[0].PeakBytes != p.PeakBytes {
+		t.Errorf("anchor candidate peak %d != plan peak %d", cands[0].PeakBytes, p.PeakBytes)
+	}
+}
+
+func TestParetoFrontierWidensFan(t *testing.T) {
+	g := fanGraph(6)
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := ParetoFrontier(g, infos, p, ParetoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some non-anchor candidate must spend memory for width.
+	wider := false
+	for _, c := range cands[1:] {
+		if c.PeakBytes > p.PeakBytes {
+			wider = true
+		}
+	}
+	if !wider {
+		t.Fatalf("no candidate spends live bytes beyond the anchor peak %d", p.PeakBytes)
+	}
+}
+
+func TestParetoMaxFactorClips(t *testing.T) {
+	g := fanGraph(6)
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := ParetoFrontier(g, infos, p, ParetoOptions{MaxFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.CapFactor > 2 {
+			t.Errorf("candidate cap factor %v exceeds MaxFactor 2", c.CapFactor)
+		}
+	}
+}
+
+// TestParetoPropertyRandomDAGs is the frontier's contract over random
+// graphs: every candidate is a complete topological order, its
+// recomputed sequential peak matches the recorded one and respects its
+// cap, orders are distinct, and the whole search is deterministic.
+func TestParetoPropertyRandomDAGs(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		g := randomDAG(seed, 8+int(seed)%12)
+		infos := analyzed(t, g)
+		p, err := Build(g, infos, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cands, err := ParetoFrontier(g, infos, p, ParetoOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sizes := Sizes(g, infos, NominalEnv(infos), nil)
+		keys := map[string]bool{}
+		for i, c := range cands {
+			label := fmt.Sprintf("seed %d candidate %d (k=%v)", seed, i, c.CapFactor)
+			requireTopological(t, g, c.Order, label)
+			peak := PeakBytes(g, c.Order, sizes)
+			if peak != c.PeakBytes {
+				t.Errorf("%s: recorded peak %d != recomputed %d", label, c.PeakBytes, peak)
+			}
+			if i > 0 && c.Cap > 0 && peak > c.Cap {
+				t.Errorf("%s: peak %d exceeds cap %d", label, peak, c.Cap)
+			}
+			key := orderKey(c.Order)
+			if keys[key] {
+				t.Errorf("%s: duplicate order in frontier", label)
+			}
+			keys[key] = true
+		}
+		again, err := ParetoFrontier(g, infos, p, ParetoOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(again) != len(cands) {
+			t.Fatalf("seed %d: frontier size changed across runs: %d != %d", seed, len(again), len(cands))
+		}
+		for i := range cands {
+			a, b := orderNames(cands[i].Order), orderNames(again[i].Order)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("seed %d candidate %d: nondeterministic order at step %d: %s != %s",
+						seed, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildDeterministic pins the greedy scheduler's tie-breaking: the
+// same graph must plan to the same order on every compile (map
+// iteration order must never leak into the result).
+func TestBuildDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := randomDAG(seed, 30) // beyond the exhaustive cap: greedy path
+		infos := analyzed(t, g)
+		first, err := Build(g, infos, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			p, err := Build(g, infos, Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			a, b := orderNames(first.Order), orderNames(p.Order)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("seed %d rep %d: greedy order nondeterministic at step %d: %s != %s",
+						seed, rep, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontBasePeak is the MemCap regression: the default cap for a
+// width-aware order must be relative to the memory-minimal anchor peak
+// (BasePeak), not the order's own (already premium-spending) peak —
+// otherwise the premium is granted twice.
+func TestWavefrontBasePeak(t *testing.T) {
+	g := fanGraph(6)
+	infos := analyzed(t, g)
+	p, err := Build(g, infos, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := ParetoFrontier(g, infos, p, ParetoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wide *Candidate
+	for i := range cands[1:] {
+		if cands[i+1].PeakBytes > p.PeakBytes {
+			wide = &cands[i+1]
+			break
+		}
+	}
+	if wide == nil {
+		t.Fatal("fan graph produced no candidate wider than the anchor")
+	}
+	wp, err := BuildWavefronts(g, infos, wide.Order, WavefrontOptions{BasePeak: p.PeakBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * p.PeakBytes; wp.MemCap != want {
+		t.Errorf("BasePeak cap = %d, want 2x anchor peak = %d", wp.MemCap, want)
+	}
+	// Without BasePeak the default cap is derived from the width-aware
+	// order's own peak — strictly larger, i.e. the double-count the
+	// field exists to prevent.
+	loose, err := BuildWavefronts(g, infos, wide.Order, WavefrontOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.MemCap <= wp.MemCap {
+		t.Errorf("default cap %d not larger than anchored cap %d — fixture no longer exercises the double-count", loose.MemCap, wp.MemCap)
+	}
+	// Every wave's concurrent-live bytes must respect the anchored cap.
+	sizes := Sizes(g, infos, NominalEnv(infos), nil)
+	s := newScheduler(g, wide.Order, sizes)
+	scheduled := map[*graph.Node]bool{}
+	for _, wave := range wp.Waves {
+		if len(wave) > 1 {
+			if live := waveLiveBytes(s, scheduled, wave); live > wp.MemCap {
+				t.Errorf("wave live bytes %d exceed cap %d", live, wp.MemCap)
+			}
+		}
+		for _, n := range wave {
+			scheduled[n] = true
+		}
+	}
+}

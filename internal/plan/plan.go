@@ -380,6 +380,10 @@ func (s *scheduler) liveBytes(scheduled map[*graph.Node]bool, current *graph.Nod
 	return live
 }
 
+// ready returns the schedulable nodes in s.nodes (slice) order — never
+// map-iteration order, so the candidate enumeration is deterministic.
+// Callers must still break ties with a total order (node name) rather
+// than positional preference if they need cross-process stability.
 func (s *scheduler) ready(scheduled map[*graph.Node]bool) []*graph.Node {
 	var out []*graph.Node
 	for _, n := range s.nodes {
@@ -400,8 +404,11 @@ func (s *scheduler) ready(scheduled map[*graph.Node]bool) []*graph.Node {
 	return out
 }
 
-// greedyOrder schedules the ready node that minimizes live bytes,
-// tie-breaking toward nodes that free the most memory, then topo order.
+// greedyOrder schedules the ready node that minimizes live bytes.
+// Ties break on the node name: names are unique (graph validation
+// rejects duplicates), so (live, name) is a total order and the chosen
+// schedule is identical across processes regardless of how the ready
+// set was enumerated — required for artifact round-trip cross-checks.
 func greedyOrder(g *graph.Graph, sorted []*graph.Node, sizes map[string]int64) []*graph.Node {
 	s := newScheduler(g, sorted, sizes)
 	scheduled := map[*graph.Node]bool{}
@@ -411,13 +418,13 @@ func greedyOrder(g *graph.Graph, sorted []*graph.Node, sizes map[string]int64) [
 		if len(cands) == 0 {
 			break
 		}
-		best := cands[0]
+		var best *graph.Node
 		var bestLive int64 = 1 << 62
 		for _, c := range cands {
 			scheduled[c] = true
 			live := s.liveBytes(scheduled, c)
 			delete(scheduled, c)
-			if live < bestLive || (live == bestLive && s.idx[c] < s.idx[best]) {
+			if best == nil || live < bestLive || (live == bestLive && c.Name < best.Name) {
 				best, bestLive = c, live
 			}
 		}
@@ -558,4 +565,11 @@ func PeakBytes(g *graph.Graph, order []*graph.Node, sizes map[string]int64) int6
 // (frameworks, bench).
 func Sizes(g *graph.Graph, infos map[string]lattice.Info, env symbolic.Env, fp *fusion.Plan) map[string]int64 {
 	return valueSizes(g, infos, env, fp)
+}
+
+// NominalEnv re-exports the planner's nominal symbol binding so other
+// packages (costmodel's static scoring, frameworks) evaluate sizes and
+// shapes under exactly the environment the plans were searched with.
+func NominalEnv(infos map[string]lattice.Info) symbolic.Env {
+	return nominalEnv(infos)
 }

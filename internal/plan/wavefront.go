@@ -32,9 +32,16 @@ type WavefrontOptions struct {
 	// Fusion marks fused-internal values (never materialized, size 0).
 	Fusion *fusion.Plan
 	// MemCap bounds the concurrently-live bytes of a single wave.
-	// 0 means "2x the sequential peak of the order" (so widening the
-	// memory plan at most doubles the arena); negative means unlimited.
+	// 0 means "2x BasePeak" (so widening the memory plan at most doubles
+	// the arena relative to the memory-minimal baseline); negative means
+	// unlimited.
 	MemCap int64
+	// BasePeak is the memory-minimal sequential peak the default MemCap
+	// is relative to (the Pareto anchor). 0 falls back to the sequential
+	// peak of the order being partitioned — correct only when that order
+	// *is* the memory-minimal one; for a width-aware order it would
+	// silently double-count the premium the order already spent.
+	BasePeak int64
 	// MaxWidth bounds the number of ops per wave (0 = unlimited).
 	MaxWidth int
 }
@@ -116,7 +123,11 @@ func BuildWavefronts(g *graph.Graph, infos map[string]lattice.Info, order []*gra
 	sizes := valueSizes(g, infos, opts.Env, opts.Fusion)
 	cap := opts.MemCap
 	if cap == 0 {
-		cap = 2 * PeakBytes(g, order, sizes)
+		base := opts.BasePeak
+		if base == 0 {
+			base = PeakBytes(g, order, sizes)
+		}
+		cap = 2 * base
 	}
 	if cap < 0 {
 		cap = 0 // unlimited

@@ -226,6 +226,36 @@ func Compile(b *ModelBuilder) (*Compiled, error) {
 	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, nil
 }
 
+// SchedConfig selects the (peak-memory × makespan) frontier point a
+// compile serves: the device profile whose cost model scores the
+// candidate orders, the live-byte cap factor k (1 pins the
+// memory-minimal anchor; 0 = device default), and the worker count the
+// per-wave makespan is modeled at.
+type SchedConfig = frameworks.SchedConfig
+
+// SchedPoint records the frontier point a compile selected (cap factor,
+// modeled workers, anchor vs chosen peak live bytes, modeled makespan).
+// A zero CapFactor means the width-aware search did not run.
+type SchedPoint = plan.SchedPoint
+
+// CompileVerifiedSched is CompileVerified with an explicit scheduling
+// configuration selecting which (peak-memory × makespan) frontier point
+// the compile serves.
+func CompileVerifiedSched(b *ModelBuilder, cfg SchedConfig) (*Compiled, *VerifyReport, error) {
+	c, rep, err := frameworks.CompileVerifiedSched(b, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, rep, nil
+}
+
+// DeviceByName resolves a cost-model device profile by its name
+// ("sd888-cpu", "sd888-gpu", "sd835-cpu", "sd835-gpu").
+func DeviceByName(name string) (Device, bool) { return costmodel.DeviceByName(name) }
+
+// Sched returns the scheduling point the compile selected.
+func (c *Compiled) Sched() SchedPoint { return c.inner.Sched }
+
 // CompileVerified is Compile plus the static plan verifier. When the
 // verifier proves the memory plan over the model's whole input region,
 // every subsequent inference whose input shapes fall inside the region

@@ -66,6 +66,17 @@ func CompileStored(b *ModelBuilder, st *ArtifactStore, device string) (*Compiled
 	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, rep, info, nil
 }
 
+// CompileStoredSched is CompileStored with an explicit scheduling
+// configuration for the cold-compile path (warm boots replay the
+// frontier point persisted in the artifact instead).
+func CompileStoredSched(b *ModelBuilder, st *ArtifactStore, device string, cfg SchedConfig) (*Compiled, *VerifyReport, BootInfo, error) {
+	c, rep, info, err := frameworks.CompileWithStoreSched(b, st, device, cfg)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	return &Compiled{inner: c, eng: frameworks.NewSoD2(frameworks.FullSoD2())}, rep, info, nil
+}
+
 // BootFleet compiles (or warm-boots) every builder into a serving
 // fleet; see FleetConfig.
 func BootFleet(builders []*ModelBuilder, cfg FleetConfig) (*Fleet, error) {
