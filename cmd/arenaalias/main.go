@@ -1,5 +1,12 @@
-// Command arenaalias runs the arena-aliasing checker as a `go vet`
-// vettool:
+// Command arenaalias runs the repository's static checkers as a
+// `go vet` vettool — a multichecker driving two stdlib-only analyzers:
+//
+//   - arenaalias: arena-backed tensors escaping a function that recycles
+//     their storage without Arena.Detach;
+//   - ctxfield: context.Context parked in long-lived struct fields
+//     outside the sanctioned Options/Config/Session carriers.
+//
+// Usage:
 //
 //	go build -o bin/arenaalias ./cmd/arenaalias
 //	go vet -vettool=bin/arenaalias ./...
@@ -31,6 +38,7 @@ import (
 	"os"
 
 	"repro/internal/lint/arenaalias"
+	"repro/internal/lint/ctxfield"
 )
 
 // config mirrors the fields of cmd/go's vet .cfg JSON that this driver
@@ -53,9 +61,9 @@ func main() {
 	args := os.Args[1:]
 	if len(args) == 1 && args[0] == "-V=full" {
 		// cmd/go requires "<name> version <ver>..." and hashes the line;
-		// bump the version when the checker's rules change to invalidate
-		// cached vet results.
-		fmt.Println("arenaalias version v1 stdlib-unitchecker")
+		// bump the version when any checker's rules change to invalidate
+		// cached vet results. v2: + ctxfield analyzer.
+		fmt.Println("arenaalias version v2 stdlib-unitchecker multichecker=arenaalias,ctxfield")
 		return
 	}
 	if len(args) == 1 && args[0] == "-flags" {
@@ -145,30 +153,57 @@ func run(cfgPath string, jsonOut bool) error {
 		return fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	diags := arenaalias.Check(fset, files, info)
+	// The multichecker proper: run every analyzer over the one
+	// type-checked unit, keeping findings grouped by analyzer name.
+	byAnalyzer := map[string][]finding{
+		"arenaalias": {},
+		"ctxfield":   {},
+	}
+	total := 0
+	for _, d := range arenaalias.Check(fset, files, info) {
+		byAnalyzer["arenaalias"] = append(byAnalyzer["arenaalias"],
+			finding{Pos: d.Pos, Message: d.Message})
+		total++
+	}
+	for _, d := range ctxfield.Check(fset, cfg.ImportPath, files, info) {
+		byAnalyzer["ctxfield"] = append(byAnalyzer["ctxfield"],
+			finding{Pos: d.Pos, Message: d.Message})
+		total++
+	}
 	if jsonOut {
-		return printJSON(cfg.ID, diags)
+		return printJSON(cfg.ID, byAnalyzer)
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	for _, name := range []string{"arenaalias", "ctxfield"} {
+		for _, d := range byAnalyzer[name] {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, name, d.Message)
+		}
 	}
-	if len(diags) > 0 {
+	if total > 0 {
 		os.Exit(2) // the unitchecker convention: diagnostics were reported
 	}
 	return nil
 }
 
+// finding is one diagnostic, analyzer-agnostic.
+type finding struct {
+	Pos     token.Position
+	Message string
+}
+
 // printJSON emits the unitchecker JSON shape:
 // {"pkgID": {"analyzer": [{"posn": ..., "message": ...}]}}.
-func printJSON(pkgID string, diags []arenaalias.Diagnostic) error {
+func printJSON(pkgID string, byAnalyzer map[string][]finding) error {
 	type jsonDiag struct {
 		Posn    string `json:"posn"`
 		Message string `json:"message"`
 	}
-	out := map[string]map[string][]jsonDiag{pkgID: {"arenaalias": {}}}
-	for _, d := range diags {
-		out[pkgID]["arenaalias"] = append(out[pkgID]["arenaalias"],
-			jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+	out := map[string]map[string][]jsonDiag{pkgID: {}}
+	for name, diags := range byAnalyzer {
+		out[pkgID][name] = []jsonDiag{}
+		for _, d := range diags {
+			out[pkgID][name] = append(out[pkgID][name],
+				jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "\t")

@@ -1,0 +1,232 @@
+package absint
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/rdp"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+func analyze(t *testing.T, g *graph.Graph) map[string]lattice.Info {
+	t.Helper()
+	res, err := rdp.Analyze(g, nil, rdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Infos
+}
+
+// TestInterpretInitializerSeeds checks the region-independent half of the
+// domain: integer initializers seed point intervals, and the arithmetic
+// transfer functions propagate them exactly.
+func TestInterpretInitializerSeeds(t *testing.T) {
+	g := graph.New("seeds")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(4))
+	g.AddInitializer("a", tensor.FromInts([]int64{2}, []int64{3, 5}))
+	g.AddInitializer("b", tensor.FromInts([]int64{2}, []int64{2, 7}))
+	g.Op("Add", "add", []string{"a", "b"}, []string{"s"}, nil)
+	g.Op("Mul", "mul", []string{"a", "b"}, []string{"p"}, nil)
+	g.Op("Min", "mn", []string{"a", "b"}, []string{"lo"}, nil)
+	g.Op("Max", "mx", []string{"a", "b"}, []string{"hi"}, nil)
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res := Interpret(g, analyze(t, g), nil)
+
+	for name, want := range map[string][]int64{
+		"s":  {5, 12},
+		"p":  {6, 35},
+		"lo": {2, 5},
+		"hi": {3, 7},
+	} {
+		v, ok := res.Values[name]
+		if !ok {
+			t.Fatalf("%s untracked", name)
+		}
+		if v.RegionDep {
+			t.Errorf("%s: initializer math must be region-independent", name)
+		}
+		pts, ok := v.Points()
+		if !ok {
+			t.Fatalf("%s not a point value: %+v", name, v)
+		}
+		for i, w := range want {
+			if pts[i] != w {
+				t.Errorf("%s[%d] = %d, want %d", name, i, pts[i], w)
+			}
+		}
+	}
+	// The float input carries no integer abstraction.
+	if _, ok := res.Values["y"]; ok {
+		t.Error("float tensor y must be untracked")
+	}
+}
+
+// TestInterpretRegionSeeds checks the region-dependent half: a symbolic
+// shape dimension flows through Shape→Gather as an interval over the
+// verified region, marked RegionDep.
+func TestInterpretRegionSeeds(t *testing.T) {
+	g := graph.New("regionseeds")
+	g.AddInput("x", tensor.Float32, lattice.Ranked(
+		lattice.FromInt(1), lattice.FromExpr(symbolic.NewSym("L")), lattice.FromInt(8)))
+	g.AddInitializer("idx1", tensor.ScalarInt(1))
+	g.AddInitializer("one", tensor.ScalarInt(1))
+	g.Op("Shape", "shp", []string{"x"}, []string{"xs"}, nil)
+	g.Op("Gather", "gl", []string{"xs", "idx1"}, []string{"lseq"}, nil)
+	g.Op("Greater", "gt", []string{"lseq", "one"}, []string{"cond"}, nil)
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	g.AddOutput("cond")
+	infos := analyze(t, g)
+	region := map[string]symbolic.Interval{"L": symbolic.NewInterval(2, 16, 2)}
+	res := Interpret(g, infos, region)
+
+	v, ok := res.Values["lseq"]
+	if !ok || len(v.Elems) != 1 {
+		t.Fatalf("lseq = %+v", v)
+	}
+	if !v.RegionDep {
+		t.Error("lseq derives from the region symbol L; RegionDep must be set")
+	}
+	if iv := v.Elems[0]; iv.Lo != 2 || iv.Hi != 16 || iv.Stride != 2 {
+		t.Errorf("lseq interval = %v, want [2,16]/2", iv)
+	}
+
+	// L ∈ [2,16] > 1 always: the predicate is region-provably true.
+	verdict, known, dep := res.Truth("cond")
+	if !known || !verdict {
+		t.Fatalf("cond should be provably true (known=%v verdict=%v)", known, verdict)
+	}
+	if !dep {
+		t.Error("cond's proof consulted the region; RegionDep must be set")
+	}
+
+	// Without a region the symbol is unbounded: nothing is provable.
+	res2 := Interpret(g, infos, nil)
+	if _, known, _ := res2.Truth("cond"); known {
+		t.Error("cond must be unprovable without a region")
+	}
+}
+
+// TestTruthUnknownOnStraddle: an interval straddling zero proves nothing.
+func TestTruthUnknownOnStraddle(t *testing.T) {
+	res := &Result{Values: map[string]Value{
+		"straddle": {Elems: []symbolic.Interval{symbolic.NewInterval(-2, 3, 1)}},
+		"zero":     {Elems: []symbolic.Interval{symbolic.Point(0)}},
+		"pos":      {Elems: []symbolic.Interval{symbolic.NewInterval(1, 9, 1)}},
+	}}
+	if _, known, _ := res.Truth("straddle"); known {
+		t.Error("straddling interval must be unprovable")
+	}
+	if verdict, known, _ := res.Truth("zero"); !known || verdict {
+		t.Errorf("point zero must be provably false (known=%v verdict=%v)", known, verdict)
+	}
+	if verdict, known, _ := res.Truth("pos"); !known || !verdict {
+		t.Errorf("positive interval must be provably true (known=%v verdict=%v)", known, verdict)
+	}
+	if _, known, _ := res.Truth("missing"); known {
+		t.Error("untracked value must be unprovable")
+	}
+}
+
+// TestCombineJoinsHull: <Switch, Combine> merges take the interval hull
+// of the incoming abstractions, with the stride preserved when it is
+// common to both arms.
+func TestCombineJoinsHull(t *testing.T) {
+	g := graph.New("join")
+	g.AddInput("gate", tensor.Float32, lattice.FromInts())
+	g.AddInitializer("a", tensor.FromInts([]int64{1}, []int64{4}))
+	g.AddInitializer("b", tensor.FromInts([]int64{1}, []int64{10}))
+	g.Op("Switch", "sw", []string{"gate", "a"}, []string{"ta", "tb"}, nil)
+	g.Op("Identity", "ia", []string{"ta"}, []string{"va"}, nil)
+	g.Op("Add", "ab", []string{"tb", "b"}, []string{"vb"}, nil)
+	g.Op("Combine", "cb", []string{"va", "vb"}, []string{"m"}, nil)
+	g.Op("Cast", "c", []string{"m"}, []string{"out"}, nil)
+	g.AddOutput("out")
+	res := Interpret(g, analyze(t, g), nil)
+
+	v, ok := res.Values["m"]
+	if !ok || len(v.Elems) != 1 {
+		t.Fatalf("m = %+v", v)
+	}
+	// Arms carry {4} and {14}: hull is [4,14].
+	iv := v.Elems[0]
+	if iv.Lo != 4 || iv.Hi != 14 {
+		t.Errorf("m interval = %v, want hull [4,14]", iv)
+	}
+	for _, want := range []int64{4, 14} {
+		if !iv.Contains(want) {
+			t.Errorf("hull %v must contain arm value %d", iv, want)
+		}
+	}
+}
+
+// TestGatherSelectsAbstractElements: Gather routes per-element intervals
+// through constant indices, including negative (from-the-end) ones.
+func TestGatherSelectsAbstractElements(t *testing.T) {
+	g := graph.New("gather")
+	g.AddInput("x", tensor.Float32, lattice.FromInts(2))
+	g.AddInitializer("data", tensor.FromInts([]int64{4}, []int64{10, 20, 30, 40}))
+	g.AddInitializer("idx", tensor.FromInts([]int64{2}, []int64{2, -1}))
+	g.Op("Gather", "gl", []string{"data", "idx"}, []string{"sel"}, nil)
+	g.Op("Relu", "r", []string{"x"}, []string{"y"}, nil)
+	g.AddOutput("y")
+	res := Interpret(g, analyze(t, g), nil)
+
+	pts, ok := res.Values["sel"].Points()
+	if !ok || len(pts) != 2 || pts[0] != 30 || pts[1] != 40 {
+		t.Fatalf("sel = %v, want [30 40]", pts)
+	}
+}
+
+// TestHullStride pins the join's stride arithmetic: it must divide both
+// strides and the offset between the interval bases.
+func TestHullStride(t *testing.T) {
+	cases := []struct {
+		a, b    symbolic.Interval
+		wantLo  int64
+		wantHi  int64
+		wantStr int64
+	}{
+		{symbolic.NewInterval(0, 8, 4), symbolic.NewInterval(2, 10, 4), 0, 10, 2},
+		{symbolic.Point(3), symbolic.Point(3), 3, 3, 1},
+		// Point strides are 1, so a point joins at stride 1.
+		{symbolic.Point(0), symbolic.NewInterval(6, 12, 3), 0, 12, 1},
+	}
+	for _, c := range cases {
+		got := hullIv(c.a, c.b)
+		if got.Lo != c.wantLo || got.Hi != c.wantHi || got.Stride != c.wantStr {
+			t.Errorf("hull(%v, %v) = %v, want [%d,%d]/%d", c.a, c.b, got, c.wantLo, c.wantHi, c.wantStr)
+		}
+		// Soundness: the hull contains every member of both inputs.
+		for _, in := range []symbolic.Interval{c.a, c.b} {
+			for v := in.Lo; v <= in.Hi; v += in.Stride {
+				if !got.Contains(v) {
+					t.Errorf("hull(%v, %v) = %v does not contain %d", c.a, c.b, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRefineIntersects: transfer results refine (intersect) the seeded
+// abstraction rather than replacing it; contradictions keep the seed.
+func TestRefineIntersects(t *testing.T) {
+	a := &interp{vals: map[string]Value{}}
+	a.vals["v"] = Value{Elems: []symbolic.Interval{symbolic.NewInterval(0, 10, 1)}}
+	if !a.refine("v", Value{Elems: []symbolic.Interval{symbolic.NewInterval(4, 20, 1)}}) {
+		t.Fatal("narrowing refinement must report a change")
+	}
+	if iv := a.vals["v"].Elems[0]; iv.Lo != 4 || iv.Hi != 10 {
+		t.Errorf("refined = %v, want [4,10]", iv)
+	}
+	// A disjoint (contradictory) refinement is rejected, not asserted.
+	if a.refine("v", Value{Elems: []symbolic.Interval{symbolic.NewInterval(50, 60, 1)}}) {
+		t.Error("contradictory refinement must be dropped")
+	}
+	if iv := a.vals["v"].Elems[0]; iv.Lo != 4 || iv.Hi != 10 {
+		t.Errorf("contradiction clobbered the value: %v", iv)
+	}
+}

@@ -48,7 +48,11 @@ import (
 // v2: SEP orders are width-aware (Pareto-scheduled) and the SEP
 // section carries the selected scheduling point; v1 artifacts hold
 // memory-minimal orders with no point and must recompile.
-const SchemaVersion uint32 = 2
+//
+// v3: artifacts carry the region-proven specialization certificate and
+// its verdict, and every stored plan describes the *specialized* graph;
+// v2 artifacts hold plans for unspecialized graphs and must recompile.
+const SchemaVersion uint32 = 3
 
 // Format constants. The header is:
 //

@@ -39,6 +39,10 @@ type Manifest struct {
 	// MemPlan is the region-wide proven arena plan (nil when the memory
 	// proof did not succeed at compile time).
 	MemPlan *MemPlanSection
+	// Spec is the region-proven specialization certificate (nil when the
+	// compile ran unspecialized). The loader replays it mechanically —
+	// zero analysis — and verify-on-load re-validates it.
+	Spec *SpecSection
 	// Verdicts pin the static-verifier outcome the loader must be able
 	// to reproduce.
 	Verdicts VerdictSection
@@ -125,6 +129,17 @@ type MemPlanSection struct {
 	Offsets   map[string]int64 `json:"offsets"`
 }
 
+// SpecSection persists the specialization certificate. The certificate
+// is stored as its own JSON encoding (the same bytes its digest is
+// computed over) so the storage layer stays decoupled from the absint
+// types; the loader decodes and replays it, and verify-on-load
+// re-validates it against the freshly built graph. Digest pins the
+// certificate fingerprint the compile served plan-cache keys under.
+type SpecSection struct {
+	Certificate json.RawMessage `json:"certificate"`
+	Digest      string          `json:"digest"`
+}
+
 // VerdictSection pins the compile-time verifier outcome. Verify-on-load
 // must reproduce it exactly; any disagreement is a proof mismatch.
 type VerdictSection struct {
@@ -136,8 +151,15 @@ type VerdictSection struct {
 	WaveProven    bool     `json:"wave_proven"`
 	WaveReason    string   `json:"wave_reason,omitempty"`
 	WaveArenaSize int64    `json:"wave_arena_size"`
-	LintErrors    int      `json:"lint_errors"`
-	DiagCodes     []string `json:"diag_codes,omitempty"`
+	// Specialization translation-validation verdict (zero values when
+	// the compile ran unspecialized).
+	SpecChecked  bool   `json:"spec_checked,omitempty"`
+	SpecProven   bool   `json:"spec_proven,omitempty"`
+	SpecReason   string `json:"spec_reason,omitempty"`
+	SpecRemoved  int    `json:"spec_removed,omitempty"`
+	SpecNarrowed int    `json:"spec_narrowed,omitempty"`
+	LintErrors   int    `json:"lint_errors"`
+	DiagCodes    []string `json:"diag_codes,omitempty"`
 }
 
 // Section names. meta/rdp/sep/region/facts/verdicts are required;
@@ -150,6 +172,7 @@ const (
 	secRegion   = "region"
 	secFacts    = "facts"
 	secMemPlan  = "memplan"
+	secSpec     = "spec"
 	secVerdicts = "verdicts"
 )
 
@@ -188,6 +211,11 @@ func (m *Manifest) encodeSections() ([]section, error) {
 	}
 	if m.MemPlan != nil {
 		if err := add(secMemPlan, m.MemPlan); err != nil {
+			return nil, err
+		}
+	}
+	if m.Spec != nil {
+		if err := add(secSpec, m.Spec); err != nil {
 			return nil, err
 		}
 	}
@@ -241,6 +269,12 @@ func decodeSections(path string, sections map[string][]byte) (*Manifest, *Corrup
 	if _, ok := sections[secMemPlan]; ok {
 		m.MemPlan = &MemPlanSection{}
 		if ce := dec(secMemPlan, m.MemPlan, true); ce != nil {
+			return nil, ce
+		}
+	}
+	if _, ok := sections[secSpec]; ok {
+		m.Spec = &SpecSection{}
+		if ce := dec(secSpec, m.Spec, true); ce != nil {
 			return nil, ce
 		}
 	}

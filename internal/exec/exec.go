@@ -650,6 +650,12 @@ func (ex *executor) execLoop(n *graph.Node) error {
 	if limit <= 0 {
 		limit = DefaultMaxLoopIters
 	}
+	// A specializer-proven per-loop trip bound tightens the global
+	// runaway guard to the loop's own static maximum; it never loosens a
+	// caller-imposed MaxLoopIters.
+	if static := n.AttrInt("static_max_trip", 0); static > 0 && static < limit {
+		limit = static
+	}
 	carried := make([]*tensor.Tensor, len(in)-2)
 	copy(carried, in[2:])
 	for iter := int64(0); iter < maxTrip && cond; iter++ {

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/absint"
 	"repro/internal/costmodel"
 	"repro/internal/exec"
 	"repro/internal/fold"
@@ -60,6 +61,14 @@ type Report struct {
 	// ParallelWorkers the worker-pool size it ran with.
 	Wavefronts      int
 	ParallelWorkers int
+	// Specialized reports that the request was served by a graph the
+	// specializer rewrote (branches pruned, constants folded, or nodes
+	// removed — not just loop bounds or MVC narrowing). SpecFallback
+	// reports that the request's inputs fell outside the specialization
+	// region of a region-dependent certificate, so the original
+	// (pre-specialization) graph served it dynamically instead.
+	Specialized  bool
+	SpecFallback bool
 }
 
 // Engine is one execution framework.
@@ -137,13 +146,26 @@ type Compiled struct {
 	// trace event).
 	hotspotIdx map[*graph.Node]*mvc.NodeVersions
 
-	// presetFacts/presetRegion are installed by the artifact-store warm
-	// boot (artifactio.go): the contract facts and verification region
-	// persisted at compile time, used instead of re-probing the input
-	// generator. Nil on the cold path. Set only before the Compiled is
-	// published (read-only afterwards, like every compiled artifact).
+	// presetFacts/presetRegion are installed at compile time (cold path:
+	// derived by probing the input generator before specialization; warm
+	// path: loaded from the artifact store) so the runtime contract and
+	// the verifier region match the region the specializer proved against
+	// exactly. Set only before the Compiled is published (read-only
+	// afterwards, like every compiled artifact).
 	presetFacts  []guard.Fact
 	presetRegion staticverify.Region
+
+	// OrigGraph/OrigInfos are the pre-specialization graph and its RDP
+	// analysis — the translation-validation baseline, and the sound
+	// execution tier for inputs outside a region-dependent certificate's
+	// region. When the specializer changed nothing they alias
+	// Graph/Infos. SpecCert is the specialization certificate (nil only
+	// when specialization was disabled); specDigest memoizes its Digest()
+	// for the plan-cache key.
+	OrigGraph  *graph.Graph
+	OrigInfos  map[string]lattice.Info
+	SpecCert   *absint.Certificate
+	specDigest string
 }
 
 // CompileCounters snapshot how models were brought up process-wide:
@@ -161,20 +183,28 @@ type CompileCounters struct {
 	// verification and warm verify-on-load both count: a loaded plan is
 	// untrusted until re-proven).
 	VerifyRuns uint64
+	// Specializations counts cold abstract-interpretation + specializer
+	// runs; SpecReplays counts warm certificate replays (mechanical
+	// re-application, no analysis). A warm boot moves only SpecReplays —
+	// the zero-analysis property the warm-boot tests assert.
+	Specializations, SpecReplays uint64
 }
 
 var compileCounters struct {
 	fullCompiles, warmLoads, planSearches, waveBuilds, verifyRuns atomic.Uint64
+	specializations, specReplays                                  atomic.Uint64
 }
 
 // Counters snapshots the process-wide compile counters.
 func Counters() CompileCounters {
 	return CompileCounters{
-		FullCompiles: compileCounters.fullCompiles.Load(),
-		WarmLoads:    compileCounters.warmLoads.Load(),
-		PlanSearches: compileCounters.planSearches.Load(),
-		WaveBuilds:   compileCounters.waveBuilds.Load(),
-		VerifyRuns:   compileCounters.verifyRuns.Load(),
+		FullCompiles:    compileCounters.fullCompiles.Load(),
+		WarmLoads:       compileCounters.warmLoads.Load(),
+		PlanSearches:    compileCounters.planSearches.Load(),
+		WaveBuilds:      compileCounters.waveBuilds.Load(),
+		VerifyRuns:      compileCounters.verifyRuns.Load(),
+		Specializations: compileCounters.specializations.Load(),
+		SpecReplays:     compileCounters.specReplays.Load(),
 	}
 }
 
@@ -368,6 +398,10 @@ type SchedConfig struct {
 	// Workers is the worker count candidate makespans are modeled at
 	// (0 = DefaultSchedWorkers).
 	Workers int
+	// NoSpecialize skips region-proven graph specialization: the compile
+	// plans and serves the graph exactly as built. The differential tests
+	// use it to pin specialized output bit-identical to unspecialized.
+	NoSpecialize bool
 }
 
 // DefaultSchedWorkers is the worker count the scheduling point is
@@ -416,7 +450,37 @@ func compileGraph(b *models.Builder, g *graph.Graph, cfg SchedConfig) (*Compiled
 	if err != nil {
 		return nil, err
 	}
-	c := &Compiled{Builder: b, Graph: g, Infos: res.Infos, RDPResult: res}
+	c := &Compiled{Builder: b, OrigGraph: g, OrigInfos: res.Infos}
+
+	// Region-proven specialization: derive the contract facts and the
+	// verification region first — the specializer's proofs are quantified
+	// over exactly the region the verifier and the runtime contract later
+	// enforce — then rewrite the graph under those facts and carry the
+	// proof certificate forward. Failure at any point is non-fatal: the
+	// compile serves the original graph unspecialized.
+	if !cfg.NoSpecialize {
+		facts := deriveFactsFor(b, g, res.Infos)
+		region := regionFor(b, g, res.Infos, facts)
+		compileCounters.specializations.Add(1)
+		if sg, cert, serr := absint.Specialize(g, res.Infos, absint.Options{Region: region}); serr == nil {
+			sres := res
+			if cert.TopologyChanged() {
+				if r2, rerr := rdp.Analyze(sg, nil, rdp.Options{}); rerr == nil {
+					sres = r2
+				} else {
+					cert = nil // unanalyzable rewrite: serve the original graph
+				}
+			}
+			if cert != nil {
+				g, res = sg, sres
+				c.SpecCert = cert
+				c.presetFacts = facts
+				c.presetRegion = region
+			}
+		}
+	}
+	c.Graph, c.Infos, c.RDPResult = g, res.Infos, res
+
 	c.FusionRDP = fusion.Fuse(g, res.Infos, fusion.RDP)
 	c.FusionStatic = fusion.Fuse(g, res.Infos, fusion.Static)
 	compileCounters.planSearches.Add(1)
@@ -424,7 +488,20 @@ func compileGraph(b *models.Builder, g *graph.Graph, cfg SchedConfig) (*Compiled
 	if err != nil {
 		return nil, err
 	}
-	c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
+	// Version planning: with a specialization region, build the narrowed
+	// plan and record which version sets it shrank in the certificate —
+	// the translation validator re-derives exactly this diff.
+	if c.SpecCert != nil {
+		base := mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
+		c.MVCPlan = mvc.BuildPlanRegion(g, res.Infos, b.MinSize, b.MaxSize, c.presetRegion)
+		for _, d := range mvc.DiffPlans(base, c.MVCPlan) {
+			c.SpecCert.Narrowings = append(c.SpecCert.Narrowings,
+				absint.Narrowing{Node: d.Node, Before: d.Before, After: d.After})
+		}
+	} else {
+		c.MVCPlan = mvc.BuildPlan(g, res.Infos, b.MinSize, b.MaxSize)
+	}
+	c.specDigest = c.SpecCert.Digest()
 	c.NaiveOrder = plan.BFSOrder(g)
 	// Width-aware SEP: enumerate the (peak live bytes × makespan)
 	// frontier under the device's cap factor, score each candidate's
@@ -514,7 +591,9 @@ func (c *Compiled) compileSubgraphs() {
 			}
 			mergeFusion(c.FusionRDP, fusion.Fuse(body, res.Infos, fusion.RDP))
 			mergeFusion(c.FusionStatic, fusion.Fuse(body, res.Infos, fusion.Static))
-			sub := mvc.BuildPlan(body, res.Infos, c.Builder.MinSize, c.Builder.MaxSize)
+			// A nil region makes BuildPlanRegion degenerate to BuildPlan,
+			// so unspecialized compiles plan bodies exactly as before.
+			sub := mvc.BuildPlanRegion(body, res.Infos, c.Builder.MinSize, c.Builder.MaxSize, c.presetRegion)
 			c.MVCPlan.Hotspots = append(c.MVCPlan.Hotspots, sub.Hotspots...)
 			c.MVCPlan.TotalVersions += sub.TotalVersions
 			// Branch bodies are planning regions of their own (§4.3):

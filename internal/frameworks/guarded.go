@@ -83,6 +83,11 @@ type GuardReport struct {
 	// ParallelWorkers the pool size it ran with.
 	Wavefronts      int
 	ParallelWorkers int
+	// Specialized reports the run was served by a specializer-rewritten
+	// graph; SpecFallback that it fell back to the original graph because
+	// the inputs were outside a region-dependent certificate's region.
+	Specialized  bool
+	SpecFallback bool
 }
 
 // Contract returns the model's runtime contract: declared symbolic input
@@ -114,34 +119,7 @@ func (c *Compiled) Contract() *guard.Contract {
 // samples on a stride — a divisibility fact (YOLO-v6's H % 32 == 0).
 // Symbols pinned to fixed values (SAM's prompt count) are left alone.
 func (c *Compiled) deriveFacts() []guard.Fact {
-	b := c.Builder
-	if b == nil || b.Inputs == nil || b.MinSize <= 0 || b.MaxSize < b.MinSize {
-		return nil
-	}
-	step := b.SizeStep
-	if step <= 0 {
-		step = 1
-	}
-	maxAligned := b.MinSize + ((b.MaxSize-b.MinSize)/step)*step
-	lo := c.probeEnv(b.MinSize)
-	hi := c.probeEnv(maxAligned)
-	if lo == nil || hi == nil {
-		return nil
-	}
-	var facts []guard.Fact
-	for sym, vlo := range lo {
-		vhi, ok := hi[sym]
-		if !ok || vlo != b.MinSize || vhi != maxAligned {
-			continue // symbol does not track the dynamic extent
-		}
-		facts = append(facts, guard.Fact{Symbol: sym, Kind: guard.FactRange,
-			Min: b.MinSize, Max: b.MaxSize})
-		if step > 1 {
-			facts = append(facts, guard.Fact{Symbol: sym, Kind: guard.FactDivisible,
-				Mod: step, Rem: b.MinSize % step})
-		}
-	}
-	return facts
+	return deriveFactsFor(c.Builder, c.Graph, c.Infos)
 }
 
 // probeEnv materializes inputs at a given extent and binds them against
@@ -187,6 +165,23 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 			Reason: reason, Kind: kind, From: gr.Tier, To: to})
 		gr.Tier = to
 	}
+
+	// 0. Specialization region gate: a region-dependent certificate means
+	// the specialized graph is only proven equivalent to the original for
+	// in-region inputs. Out-of-region requests execute the original graph
+	// with dynamic allocation — a recorded degradation, not an error
+	// (unless Strict), because the original graph is always sound.
+	if c.specFallbackNeeded(inputs) {
+		verr := &guard.ContractError{Kind: guard.KindFact,
+			Detail: "inputs outside specialization region"}
+		if opts.Strict {
+			return nil, gr, verr
+		}
+		degrade(verr.Error()+"; executing original graph", guard.KindFact, guard.TierDynamic)
+		gr.SpecFallback = true
+		return c.runOriginal(inputs, opts, gr)
+	}
+	gr.Specialized = c.SpecCert.TopologyChanged()
 
 	// 1.+2. Shape-dependent verification: contract binding, analyzed
 	// facts, execution-plan and memory-plan checks. The outcome is a

@@ -172,6 +172,10 @@ func (c *Compiled) planKey(inputs map[string]*tensor.Tensor) (string, bool) {
 	sb.WriteString(strconv.FormatFloat(c.Sched.CapFactor, 'g', -1, 64))
 	sb.WriteByte('@')
 	sb.WriteString(strconv.Itoa(c.Sched.Workers))
+	// A plan verified for one specialization of the graph must not serve
+	// another ("none" when unspecialized; "" before any compile set it).
+	sb.WriteString("|spec:")
+	sb.WriteString(c.specDigest)
 	sb.WriteByte('|')
 	for _, in := range c.Graph.Inputs {
 		t := inputs[in.Name]

@@ -208,5 +208,6 @@ func (s *SoD2) Run(m *Compiled, sample workload.Sample, dev costmodel.Device) (R
 	}
 	return Report{LatencyMS: total, PeakMemBytes: peak, Phases: phases,
 		FallbackTier: fallbackTier, Degradations: degradations,
-		Wavefronts: waves, ParallelWorkers: parWorkers}, nil
+		Wavefronts: waves, ParallelWorkers: parWorkers,
+		Specialized: m.SpecCert.TopologyChanged()}, nil
 }

@@ -1,0 +1,137 @@
+package frameworks
+
+import (
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/guard"
+	"repro/internal/lattice"
+
+	"repro/internal/models"
+	"repro/internal/rdp"
+	"repro/internal/staticverify"
+	"repro/internal/symbolic"
+	"repro/internal/tensor"
+)
+
+// This file is the compile-side of region-proven graph specialization:
+// the fact/region derivation shared by the cold compile and the runtime
+// contract, and the out-of-region escape hatch for region-dependent
+// certificates.
+
+// deriveFactsFor probes the model's input generator at both ends of its
+// declared sampling range and keeps facts only for the symbols that
+// actually track the dynamic extent (the standalone form of the contract
+// derivation: the compile pipeline needs facts before the Compiled
+// exists, so the specializer can consume the region).
+func deriveFactsFor(b *models.Builder, g *graph.Graph, infos map[string]lattice.Info) []guard.Fact {
+	if b == nil || b.Inputs == nil || b.MinSize <= 0 || b.MaxSize < b.MinSize {
+		return nil
+	}
+	step := b.SizeStep
+	if step <= 0 {
+		step = 1
+	}
+	maxAligned := b.MinSize + ((b.MaxSize-b.MinSize)/step)*step
+	lo := probeEnvFor(b, g, infos, b.MinSize)
+	hi := probeEnvFor(b, g, infos, maxAligned)
+	if lo == nil || hi == nil {
+		return nil
+	}
+	var facts []guard.Fact
+	for sym, vlo := range lo {
+		vhi, ok := hi[sym]
+		if !ok || vlo != b.MinSize || vhi != maxAligned {
+			continue // symbol does not track the dynamic extent
+		}
+		facts = append(facts, guard.Fact{Symbol: sym, Kind: guard.FactRange,
+			Min: b.MinSize, Max: b.MaxSize})
+		if step > 1 {
+			facts = append(facts, guard.Fact{Symbol: sym, Kind: guard.FactDivisible,
+				Mod: step, Rem: b.MinSize % step})
+		}
+	}
+	return facts
+}
+
+// regionFor builds the verification region from analyzed facts plus
+// singleton intervals for symbols the sampling spec pins to one value
+// (the standalone form of verifyRegion's cold path).
+func regionFor(b *models.Builder, g *graph.Graph, infos map[string]lattice.Info, facts []guard.Fact) staticverify.Region {
+	region := staticverify.RegionFromFacts(facts)
+	if b == nil || b.Inputs == nil || b.MinSize <= 0 || b.MaxSize < b.MinSize {
+		return region
+	}
+	step := b.SizeStep
+	if step <= 0 {
+		step = 1
+	}
+	maxAligned := b.MinSize + ((b.MaxSize-b.MinSize)/step)*step
+	lo := probeEnvFor(b, g, infos, b.MinSize)
+	hi := probeEnvFor(b, g, infos, maxAligned)
+	for sym, v := range lo {
+		if _, have := region[sym]; !have && hi != nil && hi[sym] == v {
+			region[sym] = symbolic.Point(v)
+		}
+	}
+	return region
+}
+
+// probeEnvFor materializes inputs at a given extent and binds them
+// against the analyzed input shapes (nil on failure).
+func probeEnvFor(b *models.Builder, g *graph.Graph, infos map[string]lattice.Info, size int64) map[string]int64 {
+	inputs := b.Inputs(tensor.NewRNG(1), size, 0.5)
+	env := symbolic.Env{}
+	for _, in := range g.Inputs {
+		t := inputs[in.Name]
+		if t == nil {
+			return nil
+		}
+		if err := rdp.BindShapes(infos[in.Name].Shape, t.Shape, env); err != nil {
+			return nil
+		}
+	}
+	return env
+}
+
+// specFallbackNeeded reports whether this request must bypass the
+// specialized graph: the certificate's rewrites leaned on region facts,
+// and the request's inputs do not provably bind inside the region, so
+// the specialized graph carries no equivalence proof for them.
+func (c *Compiled) specFallbackNeeded(inputs map[string]*tensor.Tensor) bool {
+	if c.SpecCert == nil || !c.SpecCert.RegionDependent() {
+		return false
+	}
+	env, err := c.Contract().BindInputs(inputs)
+	if err != nil {
+		return true
+	}
+	return !c.presetRegion.ContainsEnv(env)
+}
+
+// runOriginal executes the pre-specialization graph with dynamic
+// allocation — the sound tier for inputs the specialization's region
+// proof does not cover. The original graph shares no plans with the
+// specialized one, so no arena, waves, or cached plan outcomes apply.
+func (c *Compiled) runOriginal(inputs map[string]*tensor.Tensor, opts GuardOptions, gr *GuardReport) (*exec.Result, *GuardReport, error) {
+	execOpts := exec.Options{
+		Ctx:          opts.Ctx,
+		MaxLoopIters: opts.MaxLoopIters,
+		Hooks:        opts.Hooks,
+	}
+	res, err := exec.Run(c.OrigGraph, inputs, execOpts)
+	if err != nil {
+		return nil, gr, err
+	}
+	for _, o := range c.OrigGraph.Outputs {
+		if res.Outputs[o] == nil {
+			return nil, gr, &guard.ContractError{Kind: guard.KindExecPlan,
+				Detail: "original-graph fallback produced no " + o}
+		}
+	}
+	if !opts.SkipFiniteCheck {
+		if ferr := guard.CheckFinite(res.Outputs); ferr != nil {
+			return nil, gr, ferr
+		}
+	}
+	return res, gr, nil
+}

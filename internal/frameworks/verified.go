@@ -59,6 +59,18 @@ func (c *Compiled) Verify() *staticverify.Report {
 	if c.WavePlan != nil {
 		in.Waves = c.WavePlan.Ranges
 	}
+	// Translation validation: the specialized graph the proofs above
+	// cover must also be shown equivalent to the original over the
+	// region, by independently re-deriving and replaying the certificate.
+	if c.SpecCert != nil {
+		in.Spec = &staticverify.SpecInput{
+			Orig:      c.OrigGraph,
+			OrigInfos: c.OrigInfos,
+			Cert:      c.SpecCert,
+			MinSize:   minSizeOf(c.Builder),
+			MaxSize:   maxSizeOf(c.Builder),
+		}
+	}
 	r := staticverify.Analyze(in)
 	// Memoize only if no Invalidate raced this analysis; a stale proof
 	// must not be resurrected into the region fast path.
@@ -75,10 +87,10 @@ func (c *Compiled) Verify() *staticverify.Report {
 // serve-time membership test keeps the proof honest if a request ever
 // binds them differently.
 func (c *Compiled) verifyRegion() staticverify.Region {
-	// Warm boot: the artifact stored the exact region the compile-time
-	// proof quantified over; re-prove over the same set (re-probing
-	// could only shrink or shift it, silently changing what the loaded
-	// proof means).
+	// Specialized compile or warm boot: the exact region the
+	// specialization certificate (and any stored proof) quantified over;
+	// re-prove over the same set (re-probing could only shrink or shift
+	// it, silently changing what the held proofs mean).
 	if c.presetRegion != nil {
 		return c.presetRegion
 	}
@@ -100,4 +112,19 @@ func (c *Compiled) verifyRegion() staticverify.Region {
 		}
 	}
 	return region
+}
+
+// minSizeOf/maxSizeOf tolerate a nil builder (hand-built test graphs).
+func minSizeOf(b *models.Builder) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.MinSize
+}
+
+func maxSizeOf(b *models.Builder) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.MaxSize
 }

@@ -1,0 +1,64 @@
+// Package ctxuser is the ctxfield checker's fixture: each type is a
+// distilled good or bad context-storage pattern. It lives under
+// testdata/ so `go vet ./...` never sees it; the analyzer's integration
+// test vets it explicitly and asserts exactly the bad* types are
+// flagged.
+package ctxuser
+
+import "context"
+
+// badServer parks a request context in long-lived server state: flagged.
+type badServer struct {
+	ctx   context.Context
+	addr  string
+	ready bool
+}
+
+// badEmbedded embeds the interface itself: flagged.
+type badEmbedded struct {
+	context.Context
+	n int
+}
+
+// badPointer hides the context behind a pointer: flagged.
+type badPointer struct {
+	ctx *context.Context
+}
+
+// okOptions is a per-call parameter bundle — the repo's sanctioned
+// carrier idiom (exec.Options.Ctx, frameworks.GuardOptions.Ctx): clean.
+type okOptions struct {
+	Ctx     context.Context
+	Retries int
+}
+
+// RunConfig carriers are equally per-call: clean.
+type RunConfig struct {
+	Ctx context.Context
+}
+
+// okSession scopes its context to a serving session's lifetime, the
+// second sanctioned pattern: clean.
+type okSession struct {
+	ctx context.Context
+	id  uint64
+}
+
+// okNoContext stores no context at all: clean.
+type okNoContext struct {
+	cancel func()
+	name   string
+}
+
+func use(ctx context.Context) context.Context { return ctx }
+
+var (
+	_ = badServer{}
+	_ = badEmbedded{}
+	_ = badPointer{}
+	_ = okOptions{}
+	_ = RunConfig{}
+	_ = okSession{}
+	_ = okNoContext{}
+	_ = use
+)

@@ -142,30 +142,8 @@ func BuildPlan(g *graph.Graph, infos map[string]lattice.Info, lo, hi int64) *Pla
 	}
 	p := &Plan{}
 	for _, n := range g.Nodes {
-		var m, nn lattice.Dim
-		switch n.OpType {
-		case "MatMul", "Gemm":
-			a := infos[n.Inputs[0]].Shape
-			b := infos[n.Inputs[1]].Shape
-			if a.Kind != lattice.ShapeRanked || b.Kind != lattice.ShapeRanked ||
-				len(a.Dims) < 2 || len(b.Dims) < 1 {
-				continue
-			}
-			m = a.Dims[len(a.Dims)-2]
-			nn = b.Dims[len(b.Dims)-1]
-		case "Conv":
-			// GEMM view of conv: m = Cout, n = outH*outW.
-			o := infos[n.Outputs[0]].Shape
-			if o.Kind != lattice.ShapeRanked || len(o.Dims) != 4 {
-				continue
-			}
-			m = o.Dims[1]
-			if o.Dims[2].IsExpr() && o.Dims[3].IsExpr() {
-				nn = lattice.FromExpr(symbolic.Mul(o.Dims[2].E, o.Dims[3].E))
-			} else {
-				nn = lattice.Undef()
-			}
-		default:
+		m, nn, ok := hotspotDims(n, infos)
+		if !ok {
 			continue
 		}
 		regimes := possibleRegimes(m, nn, lo, hi)

@@ -1,0 +1,96 @@
+package symbolic
+
+import (
+	"testing"
+)
+
+// FuzzIntervalSoundness pins the soundness contract IntervalOf sells to
+// the rest of the repo — the static plan verifier's memory proofs and
+// the absint specializer both lean on it: for every environment binding
+// each free symbol to a member of its interval, the concrete evaluation
+// of an expression must lie inside the computed result interval, for
+// every arithmetic form (+ − × ÷ mod min max) and their compositions.
+//
+// Division and modulus are allowed to refuse (divisor interval may
+// include zero — the verifier's "unprovable" verdict); but once
+// IntervalOf commits to an interval, concrete evaluation must neither
+// error nor escape it.
+func FuzzIntervalSoundness(f *testing.F) {
+	f.Add(int64(2), uint16(7), uint8(2), int64(-3), uint16(5), uint8(1), uint16(0), uint16(0))
+	f.Add(int64(0), uint16(0), uint8(0), int64(0), uint16(0), uint8(0), uint16(0), uint16(0))
+	f.Add(int64(-100), uint16(63), uint8(7), int64(100), uint16(63), uint8(7), uint16(9), uint16(11))
+	f.Add(int64(1), uint16(15), uint8(3), int64(-8), uint16(3), uint8(4), uint16(5), uint16(2))
+
+	f.Fuzz(func(t *testing.T, xLo int64, xSpan uint16, xStrideRaw uint8,
+		yLo int64, ySpan uint16, yStrideRaw uint8, pickX, pickY uint16) {
+		// Bound magnitudes so interval arithmetic stays far from int64
+		// overflow (overflow is out of the soundness contract's scope).
+		clamp := func(v int64) int64 {
+			const lim = 1 << 20
+			if v > lim {
+				return lim
+			}
+			if v < -lim {
+				return -lim
+			}
+			return v
+		}
+		mkInterval := func(lo int64, span uint16, strideRaw uint8) Interval {
+			stride := int64(strideRaw%8) + 1
+			return NewInterval(clamp(lo), clamp(lo)+int64(span%64)*stride, stride)
+		}
+		// pick returns the (pick mod count)-th member: always in-interval.
+		pick := func(iv Interval, p uint16) int64 {
+			return iv.Lo + (int64(p)%iv.Count())*iv.Stride
+		}
+
+		xIv := mkInterval(xLo, xSpan, xStrideRaw)
+		yIv := mkInterval(yLo, ySpan, yStrideRaw)
+		vx, vy := pick(xIv, pickX), pick(yIv, pickY)
+		if !xIv.Contains(vx) || !yIv.Contains(vy) {
+			t.Fatalf("pick broke its own contract: %d in %v, %d in %v", vx, xIv, vy, yIv)
+		}
+
+		sx, sy := NewSym("x"), NewSym("y")
+		ienv := map[string]Interval{"x": xIv, "y": yIv}
+		cenv := Env{"x": vx, "y": vy}
+
+		exprs := []struct {
+			name string
+			e    Expr
+		}{
+			{"add", Add(sx, sy)},
+			{"sub", Sub(sx, sy)},
+			{"mul", Mul(sx, sy)},
+			{"div", Div(sx, sy)},
+			{"mod", Mod(sx, sy)},
+			{"min", Min(sx, sy)},
+			{"max", Max(sx, sy)},
+			// Compositions: the shapes real models feed the verifier
+			// (padded strided extents, clamped dims, parity splits).
+			{"conv-extent", Div(Add(sx, Neg(sy)), NewConst(2))},
+			{"clamped", Min(Max(sx, sy), NewConst(512))},
+			{"parity", Mod(Add(Mul(sx, NewConst(3)), sy), NewConst(7))},
+			{"nested-div", Div(Mul(sx, sy), Max(sy, NewConst(1)))},
+		}
+		for _, c := range exprs {
+			iv, err := IntervalOf(c.e, ienv)
+			if err != nil {
+				// Refusal (e.g. divisor may be zero) is a sound verdict.
+				continue
+			}
+			got, eerr := c.e.Eval(cenv)
+			if eerr != nil {
+				// IntervalOf committed to a bound, so evaluation over any
+				// in-interval environment must succeed (a division that
+				// could still hit zero should have been refused).
+				t.Fatalf("%s: IntervalOf gave %v but Eval(x=%d, y=%d) errored: %v",
+					c.name, iv, vx, vy, eerr)
+			}
+			if !iv.Contains(got) {
+				t.Fatalf("%s: Eval(x=%d, y=%d) = %d escapes IntervalOf(%v, %v) = %v",
+					c.name, vx, vy, got, xIv, yIv, iv)
+			}
+		}
+	})
+}

@@ -17,10 +17,11 @@ import (
 //	go test -run TestLintGolden -update
 var updateGolden = flag.Bool("update", false, "rewrite golden lint snapshots in testdata/lint/")
 
-// TestLintGolden pins `sod2 lint` output for all 10 evaluation models
-// against checked-in snapshots, so any verifier or lint regression — a
-// lost proof, a new diagnostic, a changed region — is visible in review
-// as a testdata diff.
+// TestLintGolden pins `sod2 lint` output for all 10 evaluation models —
+// the human text format and the machine-readable JSON form — against
+// checked-in snapshots, so any verifier or lint regression (a lost
+// proof, a new diagnostic, a changed region, a rejected specialization
+// certificate) is visible in review as a testdata diff.
 func TestLintGolden(t *testing.T) {
 	for _, b := range models.All() {
 		b := b
@@ -29,23 +30,31 @@ func TestLintGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := rep.Format()
-			path := filepath.Join("testdata", "lint", b.Name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
+			jsonGot, err := rep.FormatJSON()
 			if err != nil {
-				t.Fatalf("missing golden snapshot (regenerate with `go test -run TestLintGolden -update`): %v", err)
+				t.Fatal(err)
 			}
-			if got != string(want) {
-				t.Errorf("lint output changed (regenerate with -update if intended):\n%s", diffLines(string(want), got))
+			for _, snap := range []struct{ got, path string }{
+				{rep.Format(), filepath.Join("testdata", "lint", b.Name+".golden")},
+				{jsonGot, filepath.Join("testdata", "lint", b.Name+".json.golden")},
+			} {
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(snap.path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(snap.path, []byte(snap.got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(snap.path)
+				if err != nil {
+					t.Fatalf("missing golden snapshot (regenerate with `go test -run TestLintGolden -update`): %v", err)
+				}
+				if snap.got != string(want) {
+					t.Errorf("lint output changed in %s (regenerate with -update if intended):\n%s",
+						snap.path, diffLines(string(want), snap.got))
+				}
 			}
 		})
 	}
