@@ -8,7 +8,10 @@
 //	sod2 analyze -model CodeBERT        # dump the RDP fixed point
 //	sod2 compile -model YOLO-V6         # fusion/plan/MVC summary
 //	sod2 run -model SkipNet -size 256   # execute one inference + report
+//	sod2 serve -model CodeBERT -addr :8080   # HTTP serving front-end
+//	sod2 sample -model CodeBERT         # wire-format request body for curl
 //	sod2 serve-bench -model BERT -requests 64 -workers 4
+//	sod2 serve-bench -model BERT -http  # batched vs per-request HTTP serving
 //	sod2 lint -model YOLO-V6            # static verifier + lint diagnostics
 //	sod2 lint -model all                # every model (CI runs this)
 //	sod2 dot -model DGNet               # Graphviz rendering of the graph
@@ -38,7 +41,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|serve-bench|lint|dot|export|classify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sod2 <models|analyze|compile|run|serve|sample|serve-bench|lint|dot|export|classify> [flags]")
 	os.Exit(2)
 }
 
@@ -67,7 +70,24 @@ func main() {
 	memBudget := fs.Int64("mem-budget", 0, "serve-bench -fleet: shared arena-byte admission budget (0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "lint: emit machine-readable JSON reports instead of text")
 	specialize := fs.Bool("specialize", false, "lint: print the specialization dry-run diff per model (what the region-proven specializer changed and why)")
+	addr := fs.String("addr", "127.0.0.1:8080", "serve: listen address")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "serve / serve-bench -http: cross-request coalescing window (0 = per-request serving)")
+	batchMax := fs.Int("batch-max", 8, "serve / serve-bench -http: flush a shape-family bucket at this size")
+	qps := fs.Float64("qps", 0, "serve: per-client token-bucket rate (0 = no quota)")
+	burst := fs.Int("burst", 0, "serve: per-client token-bucket burst (0 = derived from -qps)")
+	drainGrace := fs.Duration("drain-grace", 2*time.Second, "serve: readiness-flip to listener-close grace period on SIGTERM")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "serve: bound on flushing buckets and closing sessions")
+	seed := fs.Uint64("seed", 42, "sample: RNG seed for the generated inputs")
+	httpMode := fs.Bool("http", false, "serve-bench: measure over the wire — batched vs per-request HTTP serving")
 	_ = fs.Parse(os.Args[2:])
+
+	// Resource flags must be sane before any subcommand consumes them: a
+	// negative cap is a configuration error, not "unlimited".
+	if *maxConc < 0 || *maxQueue < 0 || *deadline < 0 {
+		fmt.Fprintf(os.Stderr, "sod2: -max-concurrent (%d), -max-queue (%d), and -deadline (%v) must be non-negative\n",
+			*maxConc, *maxQueue, *deadline)
+		usage()
+	}
 
 	switch cmd {
 	case "models":
@@ -78,10 +98,20 @@ func main() {
 		withModel(*modelName, compileCmd)
 	case "run":
 		runCmd(*modelName, *size, float32(*gate), *device)
+	case "serve":
+		serveCmd(*modelName, *device, *addr, *storeDir,
+			*batchWindow, *batchMax, *maxConc, *maxQueue, *deadline,
+			*qps, *burst, *drainGrace, *drainTimeout)
+	case "sample":
+		sampleCmd(*modelName, *size, *gate, *seed)
 	case "serve-bench":
-		if *fleet {
+		switch {
+		case *httpMode:
+			httpBenchCmd(*modelName, *device, *requests, *workers, *distinct,
+				*maxConc, *maxQueue, *deadline, *storeDir, *batchWindow, *batchMax)
+		case *fleet:
 			fleetBenchCmd(*storeDir, *requests, *workers, *maxConc, *maxQueue, *memBudget)
-		} else {
+		default:
 			serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
 				*maxConc, *maxQueue, *deadline, *faultEvery, *parallel, *storeDir,
 				*schedCap, *schedWorkers)

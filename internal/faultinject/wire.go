@@ -1,0 +1,246 @@
+package faultinject
+
+// Wire-level fault drivers: adversarial HTTP/1.1 clients speaking raw
+// TCP against a serving address. Where the Injector corrupts execution
+// *inside* the runtime, these corrupt the network *in front of* it —
+// slow-loris headers, truncated and oversized bodies, mid-stream
+// disconnects, stalled readers — so the chaos suite can prove the HTTP
+// front-end degrades with typed errors and bounded resources instead of
+// leaking goroutines or hanging connections.
+//
+// Everything here is deliberately below net/http's client: the point is
+// to send the bytes a well-behaved client never would.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WireResult is what the server did in response to one adversarial
+// connection.
+type WireResult struct {
+	// StatusCode is the parsed HTTP status (0 when the server closed or
+	// stalled the connection before sending a response line).
+	StatusCode int
+	// ConnClosed reports the server (or a timeout) ended the connection
+	// before a complete response arrived.
+	ConnClosed bool
+	// Err is the transport error observed, if any.
+	Err error
+}
+
+func dialWire(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+func connDeadline(ctx context.Context, conn net.Conn, fallback time.Duration) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		dl = time.Now().Add(fallback)
+	}
+	conn.SetDeadline(dl)
+}
+
+// readStatus parses the response status line, tolerating a connection
+// closed with no bytes at all.
+func readStatus(conn net.Conn) *WireResult {
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil && line == "" {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return &WireResult{ConnClosed: true, Err: fmt.Errorf("malformed status line %q", strings.TrimSpace(line))}
+	}
+	code, cerr := strconv.Atoi(parts[1])
+	if cerr != nil {
+		return &WireResult{ConnClosed: true, Err: fmt.Errorf("malformed status %q", parts[1])}
+	}
+	return &WireResult{StatusCode: code}
+}
+
+// requestHead renders the request line and headers for a POST carrying
+// a declared Content-Length (which the fault may then dishonor).
+func requestHead(path string, declaredLen int) string {
+	return "POST " + path + " HTTP/1.1\r\n" +
+		"Host: chaos\r\n" +
+		"Content-Type: application/json\r\n" +
+		"Content-Length: " + strconv.Itoa(declaredLen) + "\r\n" +
+		"Connection: close\r\n" +
+		"\r\n"
+}
+
+// SlowLorisHeaders dribbles the request head one byte per interval and
+// never finishes it. A robust server must cut the connection (read
+// header timeout) rather than hold a goroutine open indefinitely; the
+// result reports how the connection ended.
+func SlowLorisHeaders(ctx context.Context, addr, path string, interval time.Duration) *WireResult {
+	conn, err := dialWire(ctx, addr)
+	if err != nil {
+		return &WireResult{Err: err}
+	}
+	defer conn.Close()
+	connDeadline(ctx, conn, 30*time.Second)
+	head := requestHead(path, 64)
+	for i := 0; i < len(head)-2; i++ { // never send the final CRLF
+		if _, err := conn.Write([]byte{head[i]}); err != nil {
+			// Server cut us off mid-dribble: exactly the defense we want.
+			return &WireResult{ConnClosed: true, Err: err}
+		}
+		select {
+		case <-ctx.Done():
+			return &WireResult{ConnClosed: true, Err: ctx.Err()}
+		case <-time.After(interval):
+		}
+	}
+	// Dribbled the whole head without being cut — wait for the server's
+	// verdict on the forever-incomplete request.
+	return readStatus(conn)
+}
+
+// TruncatedBody declares a Content-Length then sends only a prefix and
+// closes the write side. The server must answer with a typed 4xx (or
+// close), never hang waiting for the missing bytes.
+func TruncatedBody(ctx context.Context, addr, path string, body []byte, sendBytes int) *WireResult {
+	if sendBytes > len(body) {
+		sendBytes = len(body)
+	}
+	conn, err := dialWire(ctx, addr)
+	if err != nil {
+		return &WireResult{Err: err}
+	}
+	defer conn.Close()
+	connDeadline(ctx, conn, 30*time.Second)
+	if _, err := conn.Write([]byte(requestHead(path, len(body)))); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	if _, err := conn.Write(body[:sendBytes]); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite() // half-close: body ends short of Content-Length
+	}
+	return readStatus(conn)
+}
+
+// OversizedBody streams total bytes of JSON-ish filler with an honest
+// Content-Length far past any sane request cap. The server must refuse
+// (413) without buffering the whole body.
+func OversizedBody(ctx context.Context, addr, path string, total int) *WireResult {
+	conn, err := dialWire(ctx, addr)
+	if err != nil {
+		return &WireResult{Err: err}
+	}
+	defer conn.Close()
+	connDeadline(ctx, conn, 30*time.Second)
+	if _, err := conn.Write([]byte(requestHead(path, total))); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	chunk := []byte(strings.Repeat("[0,1,2,3,4,5,6,7,8,9],", 512))
+	sent := 0
+	for sent < total {
+		n := len(chunk)
+		if total-sent < n {
+			n = total - sent
+		}
+		if _, err := conn.Write(chunk[:n]); err != nil {
+			// Server slammed the door mid-upload — refusal achieved.
+			break
+		}
+		sent += n
+	}
+	return readStatus(conn)
+}
+
+// MalformedBody sends a complete, well-framed request whose body is the
+// given garbage. The server must answer a typed 400.
+func MalformedBody(ctx context.Context, addr, path string, body []byte) *WireResult {
+	conn, err := dialWire(ctx, addr)
+	if err != nil {
+		return &WireResult{Err: err}
+	}
+	defer conn.Close()
+	connDeadline(ctx, conn, 30*time.Second)
+	if _, err := conn.Write([]byte(requestHead(path, len(body)))); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	if _, err := conn.Write(body); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	return readStatus(conn)
+}
+
+// MidStreamDisconnect sends a complete valid request, reads until
+// firstBytes response bytes arrive (e.g. past the streaming `accepted`
+// event), then slams the connection. The server side must observe the
+// hang-up and release the request's resources.
+func MidStreamDisconnect(ctx context.Context, addr, path string, body []byte, firstBytes int) *WireResult {
+	conn, err := dialWire(ctx, addr)
+	if err != nil {
+		return &WireResult{Err: err}
+	}
+	defer conn.Close()
+	connDeadline(ctx, conn, 30*time.Second)
+	if _, err := conn.Write([]byte(requestHead(path, len(body)))); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	if _, err := conn.Write(body); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	buf := make([]byte, firstBytes)
+	n, rerr := conn.Read(buf)
+	res := readStatusBytes(buf[:n])
+	res.Err = rerr
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST, not FIN: the rudest possible disconnect
+	}
+	return res
+}
+
+// StalledReader sends a complete valid request and then refuses to read
+// the response for stall. A server writing with per-write deadlines
+// survives; the result reports whether a response eventually landed.
+func StalledReader(ctx context.Context, addr, path string, body []byte, stall time.Duration) *WireResult {
+	conn, err := dialWire(ctx, addr)
+	if err != nil {
+		return &WireResult{Err: err}
+	}
+	defer conn.Close()
+	connDeadline(ctx, conn, stall+30*time.Second)
+	if _, err := conn.Write([]byte(requestHead(path, len(body)))); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	if _, err := conn.Write(body); err != nil {
+		return &WireResult{ConnClosed: true, Err: err}
+	}
+	select {
+	case <-ctx.Done():
+		return &WireResult{ConnClosed: true, Err: ctx.Err()}
+	case <-time.After(stall):
+	}
+	return readStatus(conn)
+}
+
+// readStatusBytes parses a status code out of already-read bytes.
+func readStatusBytes(b []byte) *WireResult {
+	line, _, ok := strings.Cut(string(b), "\r\n")
+	if !ok {
+		return &WireResult{ConnClosed: true}
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return &WireResult{ConnClosed: true}
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return &WireResult{ConnClosed: true}
+	}
+	return &WireResult{StatusCode: code}
+}

@@ -28,6 +28,7 @@ package resilience
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -68,6 +69,27 @@ func (h HealthState) String() string {
 		return "probation"
 	}
 	return fmt.Sprintf("health(%d)", uint8(h))
+}
+
+// MarshalJSON serializes the state as its string name so wire-level
+// stats (/statsz) read "healthy", not an opaque ordinal.
+func (h HealthState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.String())
+}
+
+// UnmarshalJSON parses the string name back (wire-stats round trip).
+func (h *HealthState) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, s := range []HealthState{Healthy, Degraded, Quarantined, Probation} {
+		if s.String() == name {
+			*h = s
+			return nil
+		}
+	}
+	return fmt.Errorf("resilience: unknown health state %q", name)
 }
 
 // ErrOverloaded is the class of admission sheds (use errors.Is). The

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	sod2 "repro"
+)
+
+// BatchConfig tunes the cross-request coalescing window. Batching is
+// the server-side amortization of the static contract: requests whose
+// inputs fall in the same proven region share one plan verification and
+// one admission reservation, so the per-request cost of the guarantees
+// shrinks as load grows.
+type BatchConfig struct {
+	// Window is how long the first request in a bucket waits for
+	// companions before the bucket flushes; <= 0 disables batching
+	// (every request serves alone).
+	Window time.Duration
+	// MaxBatch flushes a bucket immediately once it holds this many
+	// requests; <= 0 defaults to 8.
+	MaxBatch int
+}
+
+func (c BatchConfig) enabled() bool { return c.Window > 0 }
+
+func (c BatchConfig) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 8
+}
+
+// BatchOutcome is one request's share of a coalesced bucket execution.
+type BatchOutcome struct {
+	Outputs map[string]*sod2.Tensor
+	Report  sod2.Report
+	// Size is the number of live requests served in the same bucket
+	// (1 = served alone).
+	Size int
+	Err  error
+}
+
+// waiter is one parked request inside a bucket. It deliberately carries
+// the request context's cancellation channel and deadline rather than
+// the context itself: the flush goroutine outlives the enqueue call,
+// and the repo's ctxfield vet check (correctly) refuses stored contexts.
+type waiter struct {
+	sample      sod2.Sample
+	gone        <-chan struct{} // request context's Done; nil = never
+	deadline    time.Time
+	hasDeadline bool
+	done        chan struct{} // closed by flush once res is populated
+	res         BatchOutcome
+}
+
+// bucket is the accumulating batch for one region-proof key.
+type bucket struct {
+	key     string
+	waiters []*waiter
+	timer   *time.Timer
+}
+
+// batcher owns the bucket table for one model's session.
+type batcher struct {
+	sess *sod2.Session
+	cfg  BatchConfig
+	stop <-chan struct{} // server drain signal: cancels in-flight flushes
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	closed  bool
+	flights sync.WaitGroup // one per flush executing outside mu
+
+	// Counters (under mu).
+	flushFull, flushTimer, flushDrain uint64
+	enqueued                          uint64
+}
+
+func newBatcher(sess *sod2.Session, cfg BatchConfig, stop <-chan struct{}) *batcher {
+	return &batcher{sess: sess, cfg: cfg, stop: stop, buckets: make(map[string]*bucket)}
+}
+
+// enqueue parks the request in the bucket for key and blocks until its
+// bucket flushes or ctx ends. A full bucket flushes inline on the
+// filling request's goroutine; otherwise the first request arms the
+// window timer. Abandoning waiters (ctx over) do not cancel the bucket:
+// the flush skips them when it runs.
+func (b *batcher) enqueue(ctx context.Context, key string, sample sod2.Sample) BatchOutcome {
+	w := &waiter{sample: sample, gone: ctx.Done(), done: make(chan struct{})}
+	w.deadline, w.hasDeadline = ctx.Deadline()
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return BatchOutcome{Err: ErrDraining, Size: 1}
+	}
+	bk := b.buckets[key]
+	if bk == nil {
+		bk = &bucket{key: key}
+		b.buckets[key] = bk
+		bk.timer = time.AfterFunc(b.cfg.Window, func() { b.flushKey(bk, &b.flushTimer) })
+	}
+	bk.waiters = append(bk.waiters, w)
+	b.enqueued++
+	var full *bucket
+	if len(bk.waiters) >= b.cfg.maxBatch() {
+		full = b.detachLocked(bk)
+	}
+	b.mu.Unlock()
+
+	if full != nil {
+		b.runFlush(full, &b.flushFull)
+	}
+	select {
+	case <-w.done:
+		return w.res
+	case <-ctx.Done():
+		// The bucket keeps our sample until flush, which will notice
+		// `gone` is closed and drop it without executing it.
+		return BatchOutcome{Err: ctx.Err(), Size: 1}
+	}
+}
+
+// detachLocked removes bk from the table and disarms its timer (callers
+// hold b.mu). After detach the bucket belongs to exactly one flusher.
+func (b *batcher) detachLocked(bk *bucket) *bucket {
+	if b.buckets[bk.key] != bk {
+		return nil // already detached by a racing full-flush or timer
+	}
+	delete(b.buckets, bk.key)
+	bk.timer.Stop()
+	b.flights.Add(1)
+	return bk
+}
+
+// flushKey is the window-timer path: detach if still attached, flush.
+func (b *batcher) flushKey(bk *bucket, counter *uint64) {
+	b.mu.Lock()
+	detached := b.detachLocked(bk)
+	b.mu.Unlock()
+	if detached != nil {
+		b.runFlush(detached, counter)
+	}
+}
+
+// runFlush executes one detached bucket: partition out members whose
+// request is already over, then serve the live members as ONE
+// Session.InferBucketCtx call — one admission reservation, one plan
+// check, sequential member execution against the shared arena.
+func (b *batcher) runFlush(bk *bucket, counter *uint64) {
+	defer b.flights.Done()
+	b.mu.Lock()
+	*counter++
+	b.mu.Unlock()
+
+	now := time.Now()
+	var live []*waiter
+	for _, w := range bk.waiters {
+		abandoned := false
+		if w.gone != nil {
+			select {
+			case <-w.gone:
+				abandoned = true
+			default:
+			}
+		}
+		switch {
+		case abandoned:
+			// Requester already returned; nothing to deliver.
+			w.res = BatchOutcome{Err: context.Canceled, Size: 1}
+			close(w.done)
+		case w.hasDeadline && !w.deadline.After(now):
+			w.res = BatchOutcome{Err: context.DeadlineExceeded, Size: 1}
+			close(w.done)
+		default:
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// The flush context is NOT any single request's context (a batch
+	// must not die because one member hung up); it is bounded by the
+	// latest member deadline when every member has one, and cancelled
+	// by server drain.
+	fctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stopDone := make(chan struct{})
+	go func() {
+		select {
+		case <-b.stop:
+			cancel()
+		case <-stopDone:
+		}
+	}()
+	defer close(stopDone)
+	allDeadlined, latest := true, time.Time{}
+	for _, w := range live {
+		if !w.hasDeadline {
+			allDeadlined = false
+			break
+		}
+		if w.deadline.After(latest) {
+			latest = w.deadline
+		}
+	}
+	if allDeadlined {
+		var dcancel context.CancelFunc
+		fctx, dcancel = context.WithDeadline(fctx, latest)
+		defer dcancel()
+	}
+
+	samples := make([]sod2.Sample, len(live))
+	for i, w := range live {
+		samples[i] = w.sample
+	}
+	results := b.sess.InferBucketCtx(fctx, samples)
+	for i, w := range live {
+		r := results[i]
+		err := r.Err
+		// A member cancelled because ITS deadline passed mid-bucket
+		// reports DeadlineExceeded even when the shared flush context
+		// technically ended first.
+		if r.Cancelled && err == nil {
+			err = context.Canceled
+		}
+		w.res = BatchOutcome{Outputs: r.Outputs, Report: r.Report, Size: len(live), Err: err}
+		close(w.done)
+	}
+}
+
+// drain stops accepting, flushes every pending bucket, and waits for
+// in-flight flushes bounded by ctx. Waiters are answered (possibly with
+// errors), never stranded.
+func (b *batcher) drain(ctx context.Context) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	var pending []*bucket
+	for _, bk := range b.buckets {
+		if d := b.detachLocked(bk); d != nil {
+			pending = append(pending, d)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, bk := range pending {
+		b.runFlush(bk, &b.flushDrain)
+	}
+	done := make(chan struct{})
+	go func() {
+		b.flights.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BatcherStats snapshots coalescing effectiveness for /statsz.
+type BatcherStats struct {
+	// Enqueued counts requests that entered a bucket; FlushFull /
+	// FlushTimer / FlushDrain count bucket executions by trigger.
+	Enqueued   uint64 `json:"enqueued"`
+	FlushFull  uint64 `json:"flush_full"`
+	FlushTimer uint64 `json:"flush_timer"`
+	FlushDrain uint64 `json:"flush_drain"`
+	// PendingBuckets is the number of buckets currently accumulating.
+	PendingBuckets int `json:"pending_buckets"`
+}
+
+func (b *batcher) statsSnapshot() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatcherStats{
+		Enqueued:       b.enqueued,
+		FlushFull:      b.flushFull,
+		FlushTimer:     b.flushTimer,
+		FlushDrain:     b.flushDrain,
+		PendingBuckets: len(b.buckets),
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// QuotaConfig bounds per-client request rates with a token bucket per
+// client. The zero value disables quotas entirely.
+type QuotaConfig struct {
+	// RatePerSec is the steady-state refill rate per client; <= 0
+	// disables quota enforcement.
+	RatePerSec float64
+	// Burst is the bucket capacity (max requests admitted back to
+	// back); <= 0 defaults to max(1, ceil(RatePerSec)).
+	Burst int
+	// MaxClients bounds the tracked-client map so an attacker rotating
+	// client IDs cannot grow server memory without bound; when full the
+	// stalest bucket is evicted. <= 0 defaults to 4096.
+	MaxClients int
+}
+
+func (c QuotaConfig) enabled() bool { return c.RatePerSec > 0 }
+
+func (c QuotaConfig) burst() float64 {
+	if c.Burst > 0 {
+		return float64(c.Burst)
+	}
+	if c.RatePerSec > 1 {
+		return c.RatePerSec
+	}
+	return 1
+}
+
+func (c QuotaConfig) maxClients() int {
+	if c.MaxClients > 0 {
+		return c.MaxClients
+	}
+	return 4096
+}
+
+// quotaError is a typed 429: errors.Is-matches ErrQuota and carries the
+// wait until the client's bucket refills one token (the Retry-After).
+type quotaError struct {
+	client     string
+	retryAfter time.Duration
+}
+
+func (e *quotaError) Error() string {
+	return fmt.Sprintf("server: quota exceeded for client %q (retry after %v)", e.client, e.retryAfter)
+}
+
+func (e *quotaError) Is(target error) bool { return target == ErrQuota }
+
+type clientBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaSet is the per-client token-bucket table.
+type quotaSet struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	buckets map[string]*clientBucket
+	denied  uint64
+}
+
+func newQuotaSet(cfg QuotaConfig) *quotaSet {
+	return &quotaSet{cfg: cfg, buckets: make(map[string]*clientBucket)}
+}
+
+// allow spends one token from client's bucket, refilled at RatePerSec
+// up to Burst. On refusal it returns a *quotaError with the refill wait.
+func (q *quotaSet) allow(client string, now time.Time) error {
+	if !q.cfg.enabled() {
+		return nil
+	}
+	burst := q.cfg.burst()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[client]
+	if b == nil {
+		if len(q.buckets) >= q.cfg.maxClients() {
+			q.evictStalest()
+		}
+		b = &clientBucket{tokens: burst, last: now}
+		q.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.cfg.RatePerSec
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	q.denied++
+	wait := time.Duration((1 - b.tokens) / q.cfg.RatePerSec * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return &quotaError{client: client, retryAfter: wait}
+}
+
+// evictStalest drops the bucket with the oldest activity (callers hold
+// q.mu). Evicting a stale bucket refunds at most one burst to a client
+// that was idle anyway — bounded memory is worth that slack.
+func (q *quotaSet) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for id, b := range q.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = id, b.last, false
+		}
+	}
+	if !first {
+		delete(q.buckets, victim)
+	}
+}
+
+func (q *quotaSet) stats() (clients int, denied uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets), q.denied
+}
+
+// clientKey identifies a request's quota principal: the X-Client-Id
+// header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get(HeaderClient); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

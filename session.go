@@ -112,6 +112,9 @@ type Session struct {
 	requests  atomic.Uint64
 	coalesced atomic.Uint64
 	retries   atomic.Uint64
+
+	buckets       atomic.Uint64
+	bucketMembers atomic.Uint64
 }
 
 // ErrClosed is returned by every inference entry point after Close has
@@ -312,7 +315,13 @@ func (s *Session) serve(ctx context.Context, sample Sample) (map[string]*Tensor,
 		return nil, Report{}, err
 	}
 	defer release()
+	return s.serveAdmitted(ctx, sample)
+}
 
+// serveAdmitted is the post-admission request path: breaker-advised
+// execution with tier-aware retries. The caller holds the admission
+// reservation for the duration.
+func (s *Session) serveAdmitted(ctx context.Context, sample Sample) (map[string]*Tensor, Report, error) {
 	for attempt := 1; ; attempt++ {
 		gopts := s.gopts
 		gopts.Ctx = ctx
@@ -413,6 +422,78 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// FamilyKey returns the shape-family bucket key for one concrete input
+// set, and whether that key is the statically proven region key. All
+// requests whose inputs bind inside the verified region share a single
+// key — the region proof *is* the shape family — so a cross-request
+// batching layer can coalesce them even when their concrete shapes
+// differ. Outside the region the key degrades to the per-shape plan
+// key; an empty key means the inputs are incomplete and cannot be
+// bucketed.
+func (s *Session) FamilyKey(inputs map[string]*Tensor) (string, bool) {
+	return s.c.inner.FamilyKey(inputs)
+}
+
+// InferBucketCtx executes one shape-family bucket of samples as a
+// single coalesced unit of work: the bucket is admitted ONCE — one
+// concurrency slot and one planned-arena-byte reservation cover every
+// member — and the members then execute sequentially against the
+// shared verified plan. Sequential member execution is what keeps the
+// single reservation honest: at most one member's arena is live at a
+// time (the pooled backing buffer is reused member to member), so the
+// admission ledger's accounting of the bucket equals its true peak.
+// Admission cost, ledger traffic, and plan/region verification all
+// amortize across the bucket's clients; wall-clock parallelism comes
+// from distinct buckets running concurrently.
+//
+// Per-member semantics mirror InferBatchCtx: a member failure records
+// its error without affecting the rest, members not yet dispatched when
+// ctx ends come back Cancelled, and a shed bucket sheds every member
+// with the same typed error. The session's RequestTimeout bounds the
+// whole bucket — the bucket is one request from the resilience layer's
+// point of view.
+func (s *Session) InferBucketCtx(ctx context.Context, samples []Sample) []BatchResult {
+	results := make([]BatchResult, len(samples))
+	if len(samples) == 0 {
+		return results
+	}
+	fail := func(err error) []BatchResult {
+		cancelled := isCancellation(err)
+		for i := range results {
+			results[i] = BatchResult{Index: i, Err: err, Cancelled: cancelled}
+		}
+		return results
+	}
+	if err := s.begin(); err != nil {
+		return fail(err)
+	}
+	defer s.end()
+	s.requests.Add(uint64(len(samples)))
+	s.buckets.Add(1)
+	s.bucketMembers.Add(uint64(len(samples)))
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	release, err := s.adm.Admit(ctx, s.c.inner.PlannedArenaBytes())
+	if err != nil {
+		return fail(err)
+	}
+	defer release()
+	for i := range samples {
+		if cerr := ctx.Err(); cerr != nil {
+			results[i] = BatchResult{Index: i, Cancelled: true,
+				Err: fmt.Errorf("sod2: bucket cancelled before member dispatch: %w", cerr)}
+			continue
+		}
+		out, rep, err := s.serveAdmitted(ctx, samples[i])
+		results[i] = BatchResult{Index: i, Outputs: out, Report: rep, Err: err,
+			Cancelled: isCancellation(err)}
+	}
+	return results
+}
+
 // SessionStats describes a session's request flow, the serving health
 // the resilience layer maintains, and the shared model caches behind it.
 type SessionStats struct {
@@ -424,6 +505,11 @@ type SessionStats struct {
 	// Retries counts retry attempts taken by the bounded backoff ladder
 	// (beyond first attempts).
 	Retries uint64
+	// Buckets counts coalesced shape-family buckets served via
+	// InferBucketCtx, and BucketMembers the requests inside them (each
+	// bucket consumed ONE admission for BucketMembers/Buckets requests
+	// on average — the cross-request amortization ratio).
+	Buckets, BucketMembers uint64
 	// Health is the model's current health state (breaker-judged).
 	Health resilience.HealthState
 	// Breaker snapshots the circuit breaker: cumulative faults and
@@ -440,9 +526,11 @@ type SessionStats struct {
 func (s *Session) Stats() SessionStats {
 	bs := s.brk.Stats()
 	return SessionStats{
-		Requests:  s.requests.Load(),
-		Coalesced: s.coalesced.Load(),
-		Retries:   s.retries.Load(),
+		Requests:      s.requests.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Retries:       s.retries.Load(),
+		Buckets:       s.buckets.Load(),
+		BucketMembers: s.bucketMembers.Load(),
 		Health:    bs.State,
 		Breaker:   bs,
 		Admission: s.adm.Stats(),

@@ -275,6 +275,14 @@ func CompileVerified(b *ModelBuilder) (*Compiled, *VerifyReport, error) {
 // model, enabling the shape-family serving path when the proofs succeed.
 func (c *Compiled) Verify() *VerifyReport { return c.inner.Verify() }
 
+// FamilyKey returns the shape-family bucket key for one concrete input
+// set (see Session.FamilyKey): the statically proven region key when
+// the inputs bind inside the verified region, the per-shape plan key
+// otherwise, or "" for unbucketable inputs.
+func (c *Compiled) FamilyKey(inputs map[string]*Tensor) (string, bool) {
+	return c.inner.FamilyKey(inputs)
+}
+
 // Graph returns the compiled model's graph.
 func (c *Compiled) Graph() *Graph { return c.inner.Graph }
 
