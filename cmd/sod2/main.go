@@ -64,6 +64,7 @@ func main() {
 	faultEvery := fs.Int64("fault-every", 0, "serve-bench: inject a kernel fault every Nth launch (0 = off; exercises retry/breaker/quarantine)")
 	parallel := fs.Int("parallel", 0, "serve-bench: wavefront-parallel worker pool per request (0 = sequential)")
 	schedCap := fs.Float64("sched-cap", 0, "serve-bench: live-byte cap factor k for the width-aware SEP search (0 = device default; 1 = memory-minimal order)")
+	dtype := fs.String("dtype", "f32", "serve-bench: weight storage format — f32, int8, q4_0, or q4_1 (quantized formats serve under the model's accuracy-drift contract)")
 	schedWorkers := fs.Int("sched-workers", 0, "serve-bench: worker count candidate schedules are scored at (0 = default)")
 	storeDir := fs.String("store", "", "serve-bench: compiled-artifact store directory (warm-boots from saved artifacts; cold compiles save into it)")
 	fleet := fs.Bool("fleet", false, "serve-bench: serve all models from one process behind a shared admission gate")
@@ -114,7 +115,7 @@ func main() {
 		default:
 			serveBenchCmd(*modelName, *device, *requests, *workers, *distinct,
 				*maxConc, *maxQueue, *deadline, *faultEvery, *parallel, *storeDir,
-				*schedCap, *schedWorkers)
+				*schedCap, *schedWorkers, *dtype)
 		}
 	case "lint":
 		lintCmd(*modelName, *jsonOut, *specialize)
@@ -335,7 +336,7 @@ func runCmd(name string, size int64, gate float32, device string) {
 // breaker/quarantine counters move.
 func serveBenchCmd(name, device string, requests, workers, distinct,
 	maxConc, maxQueue int, deadline time.Duration, faultEvery int64, parallel int, storeDir string,
-	schedCap float64, schedWorkers int) {
+	schedCap float64, schedWorkers int, dtype string) {
 	b, ok := models.Get(name)
 	if !ok {
 		fail(fmt.Errorf("unknown model %q", name))
@@ -345,6 +346,13 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 		fail(fmt.Errorf("unknown device %q", device))
 	}
 	cfg := sod2.SchedConfig{Device: dev, CapFactor: schedCap, Workers: schedWorkers}
+	if dtype != "" && dtype != "f32" && dtype != "float32" {
+		dt, ok := sod2.DTypeByName(dtype)
+		if !ok || !dt.IsQuantized() {
+			fail(fmt.Errorf("unknown weight dtype %q (have f32, int8, q4_0, q4_1)", dtype))
+		}
+		cfg.Quant = sod2.QuantConfig{Format: dt}
+	}
 	var c *sod2.Compiled
 	var rep *sod2.VerifyReport
 	if storeDir != "" {
@@ -364,6 +372,11 @@ func serveBenchCmd(name, device string, requests, workers, distinct,
 		if err != nil {
 			fail(err)
 		}
+	}
+	if q := c.Quant(); q != nil && q.Tensors > 0 {
+		fmt.Printf("quant: %s weights — %d packed (%d skipped), %d → %d bytes (ratio %.3f), model resident %d B, drift budget %.3g abs + %.3g rel\n",
+			q.Format, q.Tensors, q.Skipped, q.FloatBytes, q.QuantBytes, q.BytesRatio(),
+			c.WeightBytes(), q.Budget.MaxAbs, q.Budget.MaxRel)
 	}
 	if sp := c.Sched(); sp.CapFactor > 0 && sp.AnchorPeakBytes > 0 {
 		fmt.Printf("sched point: k=%.2g @ %d modeled workers — peak %d B (anchor %d B, %+.1f%%)\n",

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,6 +27,7 @@ func main() {
 	seed := flag.Uint64("seed", 20240427, "workload RNG seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parSnap := flag.String("parallel-snapshot", "", "write the wavefront-parallel JSON snapshot (BENCH_parallel.json) to this file and exit")
+	quantSnap := flag.String("quant-snapshot", "", "write the quantized-serving JSON snapshot (BENCH_quant.json) to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -34,20 +36,29 @@ func main() {
 	}
 	s := bench.NewSuite(bench.Options{Samples: *samples, Seed: *seed, Out: os.Stdout})
 	if *parSnap != "" {
-		f, err := os.Create(*parSnap)
-		if err == nil {
-			err = s.WriteParallelSnapshot(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sod2bench: %v\n", err)
-			os.Exit(1)
-		}
+		writeSnapshot(*parSnap, s.WriteParallelSnapshot)
+		return
+	}
+	if *quantSnap != "" {
+		writeSnapshot(*quantSnap, s.WriteQuantSnapshot)
 		return
 	}
 	if err := s.Run(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "sod2bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeSnapshot creates path and streams one suite snapshot into it.
+func writeSnapshot(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sod2bench: %v\n", err)
 		os.Exit(1)
 	}

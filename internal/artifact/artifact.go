@@ -52,7 +52,13 @@ import (
 // v3: artifacts carry the region-proven specialization certificate and
 // its verdict, and every stored plan describes the *specialized* graph;
 // v2 artifacts hold plans for unspecialized graphs and must recompile.
-const SchemaVersion uint32 = 3
+//
+// v4: quantized compiles persist per-tensor packed weights (format,
+// block scales/mins, nibble or int8 payload) and the accuracy-drift
+// budget in a quant section, and the key carries the compile's config
+// variant; v3 artifacts predate byte-width-aware planning and must
+// recompile.
+const SchemaVersion uint32 = 4
 
 // Format constants. The header is:
 //
@@ -147,11 +153,18 @@ func (e *CorruptError) Unwrap() error { return e.Err }
 type Key struct {
 	ModelHash string
 	Device    string
+	// Config names the compile configuration variant — e.g. the weight
+	// quantization format ("int8", "q4_0"). Empty is the default float32
+	// compile; distinct variants of one model never share an artifact.
+	Config string
 }
 
-// fileName renders the key's on-disk name. Both components are
+// fileName renders the key's on-disk name. All components are
 // sanitized so a hostile device string cannot escape the store dir.
 func (k Key) fileName() string {
+	if k.Config != "" {
+		return fmt.Sprintf("%s__%s__%s__v%d.art", sanitize(k.ModelHash), sanitize(k.Device), sanitize(k.Config), SchemaVersion)
+	}
 	return fmt.Sprintf("%s__%s__v%d.art", sanitize(k.ModelHash), sanitize(k.Device), SchemaVersion)
 }
 

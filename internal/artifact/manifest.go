@@ -43,6 +43,13 @@ type Manifest struct {
 	// compile ran unspecialized). The loader replays it mechanically —
 	// zero analysis — and verify-on-load re-validates it.
 	Spec *SpecSection
+	// Quant persists the weight-quantization pass: the packed bytes of
+	// every quantized initializer plus the accuracy-drift budget (nil
+	// when the compile served float32 weights). Re-quantizing at load
+	// would be cheap but is deliberately avoided — the served bytes must
+	// be the verified bytes, not a re-derivation that a quantizer change
+	// could silently skew.
+	Quant *QuantSection
 	// Verdicts pin the static-verifier outcome the loader must be able
 	// to reproduce.
 	Verdicts VerdictSection
@@ -140,6 +147,34 @@ type SpecSection struct {
 	Digest      string          `json:"digest"`
 }
 
+// QuantSection persists a quantized compile's packed weights and its
+// accuracy-drift contract. The loader treats every field as untrusted:
+// each tensor's block grid is re-validated against the freshly built
+// graph's initializer shape before the packed bytes replace it.
+type QuantSection struct {
+	// Format is the packed storage format name ("int8", "q4_0", "q4_1").
+	Format string `json:"format"`
+	// MaxAbs/MaxRel are the drift budget the compile enforced.
+	MaxAbs float64 `json:"max_abs,omitempty"`
+	MaxRel float64 `json:"max_rel,omitempty"`
+	// Skipped counts weight-position initializers the pass left float32.
+	Skipped int `json:"skipped"`
+	// Tensors are the packed initializers.
+	Tensors []QuantTensorDTO `json:"tensors"`
+}
+
+// QuantTensorDTO is one packed initializer: its block grid, the scale
+// (and, for Q4_1, min) tables, and the code payload (base64 in JSON).
+type QuantTensorDTO struct {
+	Name   string    `json:"name"`
+	Shape  []int64   `json:"shape"`
+	Rows   int64     `json:"rows"`
+	Cols   int64     `json:"cols"`
+	Scales []float32 `json:"scales"`
+	Mins   []float32 `json:"mins,omitempty"`
+	Data   []byte    `json:"data"`
+}
+
 // VerdictSection pins the compile-time verifier outcome. Verify-on-load
 // must reproduce it exactly; any disagreement is a proof mismatch.
 type VerdictSection struct {
@@ -173,6 +208,7 @@ const (
 	secFacts    = "facts"
 	secMemPlan  = "memplan"
 	secSpec     = "spec"
+	secQuant    = "quant"
 	secVerdicts = "verdicts"
 )
 
@@ -216,6 +252,11 @@ func (m *Manifest) encodeSections() ([]section, error) {
 	}
 	if m.Spec != nil {
 		if err := add(secSpec, m.Spec); err != nil {
+			return nil, err
+		}
+	}
+	if m.Quant != nil {
+		if err := add(secQuant, m.Quant); err != nil {
 			return nil, err
 		}
 	}
@@ -275,6 +316,12 @@ func decodeSections(path string, sections map[string][]byte) (*Manifest, *Corrup
 	if _, ok := sections[secSpec]; ok {
 		m.Spec = &SpecSection{}
 		if ce := dec(secSpec, m.Spec, true); ce != nil {
+			return nil, ce
+		}
+	}
+	if _, ok := sections[secQuant]; ok {
+		m.Quant = &QuantSection{}
+		if ce := dec(secQuant, m.Quant, true); ce != nil {
 			return nil, ce
 		}
 	}

@@ -20,7 +20,7 @@ func runExp(t *testing.T, id string) string {
 }
 
 func TestExperimentIDs(t *testing.T) {
-	if len(Experiments()) != 17 {
+	if len(Experiments()) != 18 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 	s := NewSuite(Options{Samples: 1, Out: &bytes.Buffer{}})

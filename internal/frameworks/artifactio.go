@@ -22,6 +22,7 @@ import (
 	"repro/internal/rdp"
 	"repro/internal/staticverify"
 	"repro/internal/symbolic"
+	"repro/internal/tensor"
 )
 
 // This file is the bridge between the live Compiled and the on-disk
@@ -156,6 +157,34 @@ func Snapshot(c *Compiled, rep *staticverify.Report, key artifact.Key) *artifact
 		}
 	}
 
+	// Quantized weights are persisted byte-for-byte: the warm boot
+	// serves exactly the packed bytes this compile verified and served,
+	// never a re-quantization that a quantizer change could skew.
+	if c.Quant != nil && c.Quant.Tensors > 0 {
+		qs := &artifact.QuantSection{
+			Format:  c.Quant.Format.String(),
+			MaxAbs:  c.Quant.Budget.MaxAbs,
+			MaxRel:  c.Quant.Budget.MaxRel,
+			Skipped: c.Quant.Skipped,
+		}
+		names := make([]string, 0, len(c.floatInits))
+		for name := range c.floatInits {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := c.Graph.Initializers[name]
+			if t == nil || t.Q == nil {
+				continue
+			}
+			qs.Tensors = append(qs.Tensors, artifact.QuantTensorDTO{
+				Name: name, Shape: t.Shape, Rows: t.Q.Rows, Cols: t.Q.Cols,
+				Scales: t.Q.Scales, Mins: t.Q.Mins, Data: t.Q.Data,
+			})
+		}
+		m.Quant = qs
+	}
+
 	m.Verdicts = artifact.VerdictSection{
 		ExecProven:    rep.Exec.Proven,
 		MemProven:     rep.Mem.Proven,
@@ -217,7 +246,22 @@ func (e *loadError) Error() string {
 // derivations (fusion, MVC, BFS baseline, body sub-graphs) are
 // recomputed; the SEP search and wavefront construction are not — that
 // is the work the store exists to skip.
-func compileFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manifest) (*Compiled, *loadError) {
+func compileFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manifest, cfg SchedConfig) (*Compiled, *loadError) {
+	// Config/section agreement: the key separates quantized and float
+	// artifacts, so a stored quant section that disagrees with the
+	// requested compile means the file was moved or the writer lied.
+	wantQuant, gotQuant := "", ""
+	if cfg.Quant.Format.IsQuantized() {
+		wantQuant = cfg.Quant.Format.String()
+	}
+	if man.Quant != nil {
+		gotQuant = man.Quant.Format
+	}
+	if wantQuant != gotQuant {
+		return nil, &loadError{secName("quant"), "version-skew",
+			fmt.Sprintf("artifact quant config %q, compile requested %q", gotQuant, wantQuant)}
+	}
+
 	res, err := rdp.Analyze(g, nil, rdp.Options{})
 	if err != nil {
 		return nil, &loadError{secName("rdp"), "graph-mismatch", err.Error()}
@@ -352,7 +396,80 @@ func compileFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manife
 
 	c.compileSubgraphs()
 	c.buildHotspotIndex()
+	// Quantization replay last, mirroring the cold pipeline: the stored
+	// packed bytes replace the float weights only after every plan is
+	// reconstructed against the float graph.
+	if man.Quant != nil {
+		if lerr := c.restoreQuant(man.Quant); lerr != nil {
+			return nil, lerr
+		}
+	}
 	return c, nil
+}
+
+// restoreQuant replays a stored quant section onto a reconstructed
+// Compiled: every packed tensor is validated against the freshly built
+// graph's float32 initializer (shape, grid coverage, payload lengths,
+// finite scales) before it is swapped in. Mirrors applyQuantization's
+// install exactly — shallow graph copy, float originals kept for the
+// fallback tier, MVC plan widened with the format.
+func (c *Compiled) restoreQuant(qs *artifact.QuantSection) *loadError {
+	format, ok := tensor.DTypeByName(qs.Format)
+	if !ok || !format.IsQuantized() {
+		return &loadError{secName("quant"), "decode",
+			fmt.Sprintf("unknown quant format %q", qs.Format)}
+	}
+	rep := &QuantReport{Format: format, Skipped: qs.Skipped,
+		Budget: guard.QuantBudget{MaxAbs: qs.MaxAbs, MaxRel: qs.MaxRel}}
+	packed := make(map[string]*tensor.Tensor, len(c.Graph.Initializers))
+	for k, v := range c.Graph.Initializers {
+		packed[k] = v
+	}
+	floatInits := make(map[string]*tensor.Tensor, len(qs.Tensors))
+	for _, dto := range qs.Tensors {
+		orig := c.Graph.Initializers[dto.Name]
+		if orig == nil || orig.DType != tensor.Float32 {
+			return &loadError{secName("quant"), "graph-mismatch",
+				fmt.Sprintf("packed tensor %q is not a float32 initializer of the graph", dto.Name)}
+		}
+		if !equalInt64s(orig.Shape, dto.Shape) {
+			return &loadError{secName("quant"), "graph-mismatch",
+				fmt.Sprintf("packed tensor %q shape %v, graph has %v", dto.Name, dto.Shape, orig.Shape)}
+		}
+		qd := &tensor.QuantData{Format: format, Rows: dto.Rows, Cols: dto.Cols,
+			Scales: dto.Scales, Mins: dto.Mins, Data: dto.Data}
+		if err := qd.Validate(orig.Shape); err != nil {
+			return &loadError{secName("quant"), "decode", err.Error()}
+		}
+		qt := &tensor.Tensor{DType: format, Shape: append([]int64(nil), orig.Shape...), Q: qd}
+		packed[dto.Name] = qt
+		floatInits[dto.Name] = orig
+		rep.Tensors++
+		rep.FloatBytes += orig.Bytes()
+		rep.QuantBytes += qt.Bytes()
+	}
+	c.Quant = rep
+	if rep.Tensors == 0 {
+		return nil
+	}
+	qg := *c.Graph
+	qg.Initializers = packed
+	c.Graph = &qg
+	c.floatInits = floatInits
+	c.MVCPlan.WidenDTypes([]tensor.DType{format})
+	return nil
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // secName keeps loadError section labels aligned with the on-disk
@@ -496,13 +613,19 @@ func CompileWithStoreSched(b *models.Builder, st *artifact.Store, device string,
 		return nil, nil, info, err
 	}
 	key := artifact.Key{ModelHash: hash, Device: device}
+	if cfg.Quant.Format.IsQuantized() {
+		// Distinct weight formats of one model never share an artifact:
+		// the packed bytes, the MVC version set, and the drift budget all
+		// differ even though the graph hash is the same.
+		key.Config = cfg.Quant.Format.String()
+	}
 	info.Key = key
 
 	if st != nil {
 		man, lerr := st.Load(key)
 		switch {
 		case lerr == nil:
-			c, rep, cerr := bootFromManifest(b, g, man, st, key, &info)
+			c, rep, cerr := bootFromManifest(b, g, man, st, key, &info, cfg)
 			if cerr == nil {
 				info.Warm = true
 				info.BootMS = msSince(start)
@@ -540,8 +663,8 @@ func CompileWithStoreSched(b *models.Builder, st *artifact.Store, device string,
 // bootFromManifest reconstructs, verifies-on-load, and cross-checks a
 // loaded artifact, quarantining it on any refusal.
 func bootFromManifest(b *models.Builder, g *graph.Graph, man *artifact.Manifest,
-	st *artifact.Store, key artifact.Key, info *BootInfo) (*Compiled, *staticverify.Report, *artifact.CorruptError) {
-	c, lerr := compileFromManifest(b, g, man)
+	st *artifact.Store, key artifact.Key, info *BootInfo, cfg SchedConfig) (*Compiled, *staticverify.Report, *artifact.CorruptError) {
+	c, lerr := compileFromManifest(b, g, man, cfg)
 	if lerr == nil {
 		vstart := time.Now()
 		rep := c.Verify() // verify-on-load: the loaded plans are untrusted until re-proven

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/absint"
 	"repro/internal/costmodel"
+	"repro/internal/dtypes"
 	"repro/internal/exec"
 	"repro/internal/fold"
 	"repro/internal/fusion"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/rdp"
 	"repro/internal/staticverify"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -145,6 +147,18 @@ type Compiled struct {
 	// compile time; mvcEff previously linear-scanned all hotspots per
 	// trace event).
 	hotspotIdx map[*graph.Node]*mvc.NodeVersions
+
+	// dtypesOnce guards the lazily inferred value→dtype map that makes
+	// the arena program and memory proofs byte-width-aware.
+	dtypesOnce sync.Once
+	dtypesMap  dtypes.Map
+
+	// Quant describes the weight-quantization pass applied to Graph
+	// (nil = float32 weights). floatInits keeps the original f32
+	// initializers: the accuracy-contract fallback tier runs the same
+	// topology against them when a quantized run violates its budget.
+	Quant      *QuantReport
+	floatInits map[string]*tensor.Tensor
 
 	// presetFacts/presetRegion are installed at compile time (cold path:
 	// derived by probing the input generator before specialization; warm
@@ -402,6 +416,9 @@ type SchedConfig struct {
 	// plans and serves the graph exactly as built. The differential tests
 	// use it to pin specialized output bit-identical to unspecialized.
 	NoSpecialize bool
+	// Quant packs eligible weights into block-quantized storage
+	// (Quant.Format = Int8/Q4_0/Q4_1; the zero value serves float32).
+	Quant QuantConfig
 }
 
 // DefaultSchedWorkers is the worker count the scheduling point is
@@ -512,6 +529,12 @@ func compileGraph(b *models.Builder, g *graph.Graph, cfg SchedConfig) (*Compiled
 	c.selectSchedule(cfg)
 	c.compileSubgraphs()
 	c.buildHotspotIndex()
+	// Weight quantization runs last: it swaps initializer storage only —
+	// shapes, topology, and node pointers are untouched, so every plan
+	// derived above remains valid for the packed graph.
+	if cfg.Quant.Format.IsQuantized() {
+		c.applyQuantization(cfg.Quant)
+	}
 	return c, nil
 }
 

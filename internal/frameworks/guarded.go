@@ -45,6 +45,11 @@ type GuardOptions struct {
 	ForceDynamic bool
 	// SkipFiniteCheck disables the output NaN/Inf scan.
 	SkipFiniteCheck bool
+	// VerifyDrift, on a quantized compile, re-runs the request with the
+	// float32 weights and checks the quantized outputs against the
+	// model's accuracy-drift budget (doubles the request's compute; the
+	// reference outputs serve the request if the contract is violated).
+	VerifyDrift bool
 	// Parallel requests wavefront-parallel execution on the planned
 	// tier: kernels of each statically planned wave run concurrently on
 	// a worker pool, against the wave-widened (concurrency-proven)
@@ -355,6 +360,60 @@ func (c *Compiled) GuardedRun(inputs map[string]*tensor.Tensor, opts GuardOption
 	}
 	if !opts.SkipFiniteCheck {
 		if ferr := guard.CheckFinite(res.Outputs); ferr != nil {
+			// A quantized compile that went non-finite may be the packed
+			// weights' fault (e.g. a corrupted block scale): re-serve on
+			// the float32 weight tier instead of failing the request.
+			if c.Quant != nil && c.Quant.Tensors > 0 && !opts.Strict {
+				return c.float32Fallback(inputs, opts, gr, ferr)
+			}
+			return nil, gr, ferr
+		}
+	}
+	// Accuracy-drift contract: re-run the request with the float32
+	// weights and bound the quantized outputs' element-wise error. The
+	// reference run doubles the request's compute, so callers opt in
+	// (serve layers sample it); its outputs double as the f32-tier
+	// result when the contract is violated — a typed degradation, never
+	// a silent wrong answer.
+	if opts.VerifyDrift && c.Quant != nil && c.Quant.Tensors > 0 && c.Quant.Budget.Enabled() {
+		ref, rerr := exec.Run(c.floatGraph(), inputs, exec.Options{
+			Order: execOpts.Order, Ctx: opts.Ctx, MaxLoopIters: opts.MaxLoopIters,
+		})
+		if rerr == nil {
+			if derr := guard.CheckDrift(ref.Outputs, res.Outputs, c.Quant.Budget); derr != nil {
+				if opts.Strict {
+					return nil, gr, derr
+				}
+				gr.Degradations = append(gr.Degradations, guard.Degradation{
+					Reason: derr.Error(), Kind: guard.KindQuant,
+					From: gr.Tier, To: guard.TierFloat32})
+				gr.Tier = guard.TierFloat32
+				gr.Wavefronts, gr.ParallelWorkers = 0, 0
+				return ref, gr, nil
+			}
+		}
+	}
+	return res, gr, nil
+}
+
+// float32Fallback re-serves a request with the original float32 weights
+// after a quantized run violated its contract (non-finite outputs or
+// accuracy drift). It runs the planned order with dynamic allocation:
+// the quantized compile's arena plan excludes the packed weights it no
+// longer uses, so the plan is not consulted.
+func (c *Compiled) float32Fallback(inputs map[string]*tensor.Tensor, opts GuardOptions, gr *GuardReport, cause error) (*exec.Result, *GuardReport, error) {
+	gr.Degradations = append(gr.Degradations, guard.Degradation{
+		Reason: cause.Error(), Kind: guard.KindQuant, From: gr.Tier, To: guard.TierFloat32})
+	gr.Tier = guard.TierFloat32
+	gr.Wavefronts, gr.ParallelWorkers = 0, 0
+	res, err := exec.Run(c.floatGraph(), inputs, exec.Options{
+		Order: c.ExecPlan.Order, Ctx: opts.Ctx, MaxLoopIters: opts.MaxLoopIters,
+	})
+	if err != nil {
+		return nil, gr, err
+	}
+	if !opts.SkipFiniteCheck {
+		if ferr := guard.CheckFinite(res.Outputs); ferr != nil {
 			return nil, gr, ferr
 		}
 	}
@@ -379,7 +438,7 @@ func (c *Compiled) buildPlanOutcome(inputs map[string]*tensor.Tensor, mutate fun
 	if o.execPlanErr != nil {
 		return o
 	}
-	pl, prog := memProgram(c.Graph, c.ExecPlan.Order, c.Infos, o.env)
+	pl, prog := memProgram(c.Graph, c.ExecPlan.Order, c.Infos, o.env, c.valueDTypes())
 	if mutate != nil {
 		mutate(pl)
 	}

@@ -3,6 +3,7 @@ package frameworks
 import (
 	"fmt"
 
+	"repro/internal/dtypes"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/lattice"
@@ -24,11 +25,20 @@ func (c *Compiled) PlanArena(inputs map[string]*tensor.Tensor) (*exec.Arena, err
 	if err != nil {
 		return nil, err
 	}
-	plan, prog := memProgram(c.Graph, c.ExecPlan.Order, c.Infos, env)
+	plan, prog := memProgram(c.Graph, c.ExecPlan.Order, c.Infos, env, c.valueDTypes())
 	if err := plan.Validate(prog); err != nil {
 		return nil, err
 	}
 	return exec.NewArena(plan.Offsets, plan.ArenaSize), nil
+}
+
+// valueDTypes lazily infers (and caches) the value→dtype map for the
+// compiled graph; every arena program and memory proof shares one map.
+func (c *Compiled) valueDTypes() dtypes.Map {
+	c.dtypesOnce.Do(func() {
+		c.dtypesMap = dtypes.Infer(c.Graph)
+	})
+	return c.dtypesMap
 }
 
 // bindEnv binds the concrete input dims against the analyzed symbolic
@@ -49,7 +59,13 @@ func (c *Compiled) bindEnv(inputs map[string]*tensor.Tensor) (symbolic.Env, erro
 
 // memProgram derives the liveness program for an execution order under a
 // bound symbol environment and runs the peak-first planner over it.
-func memProgram(g *graph.Graph, order []*graph.Node, infos map[string]lattice.Info, env symbolic.Env) (*memplan.Plan, *memplan.Program) {
+// Only values inferred float32 enter the placement program: the runtime
+// arena places exclusively float32 tensors, so planning a slot for an
+// int64/bool/quantized value would reserve bytes no execution claims —
+// excluding them keeps the plan tight and keeps a dtype mis-inference
+// fail-safe (the value falls back to dynamic allocation; it can never
+// alias a planned buffer).
+func memProgram(g *graph.Graph, order []*graph.Node, infos map[string]lattice.Info, env symbolic.Env, dts dtypes.Map) (*memplan.Plan, *memplan.Program) {
 	keep := map[string]bool{}
 	for _, o := range g.Outputs {
 		keep[o] = true
@@ -59,7 +75,7 @@ func memProgram(g *graph.Graph, order []*graph.Node, infos map[string]lattice.In
 		var st memplan.StepSpec
 		if !isControlFlow(n.OpType) {
 			for _, o := range n.Outputs {
-				if o == "" {
+				if o == "" || !dts.IsFloat(o) {
 					continue
 				}
 				size := evalBytes(infos[o].Shape, env)

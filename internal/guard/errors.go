@@ -81,6 +81,10 @@ const (
 	KindQuarantine ViolationKind = "quarantine"
 	// KindNumeric: execution produced non-finite output values.
 	KindNumeric ViolationKind = "numeric"
+	// KindQuant: a quantized-weight run violated the model's
+	// accuracy-drift contract (or produced non-finite outputs the f32
+	// reference does not); the run fell back to the float32 weight tier.
+	KindQuant ViolationKind = "quant"
 )
 
 // ContractError is a structured contract violation: which check failed,
@@ -135,6 +139,10 @@ const (
 	// TierReplan: full re-analysis + re-planning for the actual input
 	// (the MNN-style re-initialization fallback).
 	TierReplan
+	// TierFloat32: the quantized-weight run violated its accuracy-drift
+	// contract and the request was re-served with the original float32
+	// weights (dynamic allocation; the quantized plans are bypassed).
+	TierFloat32
 )
 
 func (t Tier) String() string {
@@ -145,6 +153,8 @@ func (t Tier) String() string {
 		return "dynamic"
 	case TierReplan:
 		return "replan"
+	case TierFloat32:
+		return "float32"
 	default:
 		return fmt.Sprintf("tier(%d)", uint8(t))
 	}

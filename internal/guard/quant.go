@@ -1,0 +1,67 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// QuantBudget is a model's accuracy-drift contract for quantized
+// serving: per-output error budgets of the packed-weight run against the
+// float32 reference on the same inputs. The two fields combine into one
+// allclose-style tolerance per output, MaxAbs + MaxRel×amp(ref) — the
+// relative term scales with the output's amplitude while the absolute
+// term keeps near-zero outputs from demanding infinite precision. The
+// zero value disables drift checking entirely.
+type QuantBudget struct {
+	// MaxAbs is the absolute term of the tolerance (the floor for
+	// outputs whose reference amplitude is near zero).
+	MaxAbs float64
+	// MaxRel is the relative term, scaled by the reference output's
+	// absolute maximum (stays meaningful whether outputs are logits or
+	// probabilities).
+	MaxRel float64
+}
+
+// Enabled reports whether the budget constrains anything.
+func (b QuantBudget) Enabled() bool { return b.MaxAbs > 0 || b.MaxRel > 0 }
+
+// CheckDrift verifies a quantized run's outputs against the float32
+// reference under the budget. A violation is a *ContractError with
+// KindQuant naming the worst output — a typed, observable degradation
+// trigger, never a silent wrong answer. Outputs missing from either map
+// and non-float outputs (indices, masks — bit-identical by
+// construction) are skipped.
+func CheckDrift(ref, got map[string]*tensor.Tensor, b QuantBudget) error {
+	if !b.Enabled() {
+		return nil
+	}
+	for name, rt := range ref {
+		qt := got[name]
+		if qt == nil || rt.DType != tensor.Float32 || qt.DType != tensor.Float32 {
+			continue
+		}
+		if len(qt.F) != len(rt.F) {
+			return &ContractError{Kind: KindQuant,
+				Detail: fmt.Sprintf("output %q: quantized run produced %d elements, reference %d",
+					name, len(qt.F), len(rt.F))}
+		}
+		var maxAbs, refAmp float64
+		for i, rv := range rt.F {
+			d := math.Abs(float64(qt.F[i]) - float64(rv))
+			if d > maxAbs {
+				maxAbs = d
+			}
+			if a := math.Abs(float64(rv)); a > refAmp {
+				refAmp = a
+			}
+		}
+		if tol := b.MaxAbs + b.MaxRel*refAmp; maxAbs > tol {
+			return &ContractError{Kind: KindQuant,
+				Detail: fmt.Sprintf("output %q drift: max|quant-ref| = %.6g exceeds budget %.6g (= %.6g abs + %.6g rel × amp %.6g)",
+					name, maxAbs, tol, b.MaxAbs, b.MaxRel, refAmp)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDriftBudgetCombinedTolerance(t *testing.T) {
+	ref := map[string]*tensor.Tensor{
+		"y": tensor.FromFloats([]int64{3}, []float32{1, -2, 0.5}),
+	}
+	within := map[string]*tensor.Tensor{
+		"y": tensor.FromFloats([]int64{3}, []float32{1.01, -2, 0.5}),
+	}
+	beyond := map[string]*tensor.Tensor{
+		"y": tensor.FromFloats([]int64{3}, []float32{1.5, -2, 0.5}),
+	}
+	b := QuantBudget{MaxAbs: 0.005, MaxRel: 0.08}
+	// tol = 0.005 + 0.08*2 = 0.165: drift 0.01 passes, 0.5 violates.
+	if err := CheckDrift(ref, within, b); err != nil {
+		t.Fatalf("in-budget drift rejected: %v", err)
+	}
+	err := CheckDrift(ref, beyond, b)
+	var ce *ContractError
+	if !errors.As(err, &ce) || ce.Kind != KindQuant {
+		t.Fatalf("want KindQuant contract error, got %v", err)
+	}
+}
+
+func TestDriftBudgetAbsFloorNearZeroOutputs(t *testing.T) {
+	// A near-zero output must not demand infinite relative precision:
+	// the absolute term is the floor.
+	ref := map[string]*tensor.Tensor{
+		"y": tensor.FromFloats([]int64{2}, []float32{0, 1e-6}),
+	}
+	got := map[string]*tensor.Tensor{
+		"y": tensor.FromFloats([]int64{2}, []float32{0.003, 1e-6}),
+	}
+	if err := CheckDrift(ref, got, QuantBudget{MaxAbs: 0.005, MaxRel: 0.08}); err != nil {
+		t.Fatalf("abs floor not honored: %v", err)
+	}
+	if err := CheckDrift(ref, got, QuantBudget{MaxRel: 0.08}); err == nil {
+		t.Fatal("pure-relative budget accepted drift on a near-zero output")
+	}
+}
+
+func TestDriftSkipsNonFloatAndMissing(t *testing.T) {
+	ref := map[string]*tensor.Tensor{
+		"idx":  tensor.FromInts([]int64{2}, []int64{1, 2}),
+		"gone": tensor.FromFloats([]int64{1}, []float32{1}),
+	}
+	got := map[string]*tensor.Tensor{
+		"idx": tensor.FromInts([]int64{2}, []int64{9, 9}),
+	}
+	if err := CheckDrift(ref, got, QuantBudget{MaxAbs: 1e-9}); err != nil {
+		t.Fatalf("non-float/missing outputs must be skipped: %v", err)
+	}
+}
+
+func TestDriftElementCountMismatch(t *testing.T) {
+	ref := map[string]*tensor.Tensor{"y": tensor.FromFloats([]int64{2}, []float32{1, 2})}
+	got := map[string]*tensor.Tensor{"y": tensor.FromFloats([]int64{1}, []float32{1})}
+	err := CheckDrift(ref, got, QuantBudget{MaxAbs: 1})
+	var ce *ContractError
+	if !errors.As(err, &ce) || ce.Kind != KindQuant {
+		t.Fatalf("want KindQuant on element-count mismatch, got %v", err)
+	}
+}
+
+func TestDriftDisabledBudget(t *testing.T) {
+	ref := map[string]*tensor.Tensor{"y": tensor.FromFloats([]int64{1}, []float32{1})}
+	got := map[string]*tensor.Tensor{"y": tensor.FromFloats([]int64{1}, []float32{100})}
+	if err := CheckDrift(ref, got, QuantBudget{}); err != nil {
+		t.Fatalf("zero budget must disable the check: %v", err)
+	}
+}

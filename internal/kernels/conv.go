@@ -85,6 +85,19 @@ func convKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tens
 	if v := n.AttrInt("auto_variant", 0); v != 0 {
 		variant = SelectConvVariant(a.cinPerGroup, a.kh, a.kw)
 	}
+	if w.DType.IsQuantized() {
+		if variant == ConvDirect {
+			// Direct is only selected for tiny filters — unpack once
+			// rather than paying per-tap nibble decodes.
+			w = w.Dequantize()
+		} else {
+			if err := convIm2colQuant(x, w, out, a, threads); err != nil {
+				return nil, err
+			}
+			addConvBias(in, out, a)
+			return []*tensor.Tensor{out}, nil
+		}
+	}
 	switch {
 	case variant == ConvDirect && threads > 1:
 		ConvParallelDirect(x, w, out, a, threads)
@@ -93,20 +106,26 @@ func convKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tens
 	default:
 		convIm2col(x, w, out, a, threads)
 	}
-	if len(in) > 2 && in[2] != nil {
-		bias := in[2]
-		plane := a.outH * a.outW
-		for b := int64(0); b < a.n; b++ {
-			for c := int64(0); c < a.cout; c++ {
-				base := (b*a.cout + c) * plane
-				bv := bias.F[c]
-				for i := int64(0); i < plane; i++ {
-					out.F[base+i] += bv
-				}
+	addConvBias(in, out, a)
+	return []*tensor.Tensor{out}, nil
+}
+
+// addConvBias adds the optional per-channel bias input in place.
+func addConvBias(in []*tensor.Tensor, out *tensor.Tensor, a conv2dArgs) {
+	if len(in) <= 2 || in[2] == nil {
+		return
+	}
+	bias := in[2]
+	plane := a.outH * a.outW
+	for b := int64(0); b < a.n; b++ {
+		for c := int64(0); c < a.cout; c++ {
+			base := (b*a.cout + c) * plane
+			bv := bias.F[c]
+			for i := int64(0); i < plane; i++ {
+				out.F[base+i] += bv
 			}
 		}
 	}
-	return []*tensor.Tensor{out}, nil
 }
 
 func convDirect(x, w, out *tensor.Tensor, a conv2dArgs) {
@@ -164,39 +183,7 @@ func convIm2col(x, w, out *tensor.Tensor, a conv2dArgs, threads int) {
 	patch := make([]float32, k*cols)
 	for b := int64(0); b < a.n; b++ {
 		for g := int64(0); g < a.group; g++ {
-			// im2col
-			row := int64(0)
-			for ic := int64(0); ic < a.cinPerGroup; ic++ {
-				inC := g*a.cinPerGroup + ic
-				base := (b*a.cin + inC) * a.h * a.w
-				for kh := int64(0); kh < a.kh; kh++ {
-					for kw := int64(0); kw < a.kw; kw++ {
-						dst := patch[row*cols : (row+1)*cols]
-						idx := int64(0)
-						for oh := int64(0); oh < a.outH; oh++ {
-							ih := oh*a.strideH - a.padT + kh*a.dilH
-							if ih < 0 || ih >= a.h {
-								for ow := int64(0); ow < a.outW; ow++ {
-									dst[idx] = 0
-									idx++
-								}
-								continue
-							}
-							rowBase := base + ih*a.w
-							for ow := int64(0); ow < a.outW; ow++ {
-								iw := ow*a.strideW - a.padL + kw*a.dilW
-								if iw < 0 || iw >= a.w {
-									dst[idx] = 0
-								} else {
-									dst[idx] = x.F[rowBase+iw]
-								}
-								idx++
-							}
-						}
-						row++
-					}
-				}
-			}
+			im2colPatch(x, patch, a, b, g, cols)
 			// GEMM: [coutPerGroup, k] × [k, cols]
 			wMat := w.F[g*coutPerGroup*k : (g+1)*coutPerGroup*k]
 			outMat := out.F[((b*a.cout)+g*coutPerGroup)*cols : ((b*a.cout)+(g+1)*coutPerGroup)*cols]
@@ -204,6 +191,43 @@ func convIm2col(x, w, out *tensor.Tensor, a conv2dArgs, threads int) {
 				outMat[i] = 0
 			}
 			GemmParallel(GemmTiledRegular, threads, wMat, patch, coutPerGroup, k, cols, outMat)
+		}
+	}
+}
+
+// im2colPatch fills patch [cinPerGroup*kh*kw, cols] for one (batch,
+// group) pair — shared by the float and quantized im2col paths.
+func im2colPatch(x *tensor.Tensor, patch []float32, a conv2dArgs, b, g, cols int64) {
+	row := int64(0)
+	for ic := int64(0); ic < a.cinPerGroup; ic++ {
+		inC := g*a.cinPerGroup + ic
+		base := (b*a.cin + inC) * a.h * a.w
+		for kh := int64(0); kh < a.kh; kh++ {
+			for kw := int64(0); kw < a.kw; kw++ {
+				dst := patch[row*cols : (row+1)*cols]
+				idx := int64(0)
+				for oh := int64(0); oh < a.outH; oh++ {
+					ih := oh*a.strideH - a.padT + kh*a.dilH
+					if ih < 0 || ih >= a.h {
+						for ow := int64(0); ow < a.outW; ow++ {
+							dst[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := base + ih*a.w
+					for ow := int64(0); ow < a.outW; ow++ {
+						iw := ow*a.strideW - a.padL + kw*a.dilW
+						if iw < 0 || iw >= a.w {
+							dst[idx] = 0
+						} else {
+							dst[idx] = x.F[rowBase+iw]
+						}
+						idx++
+					}
+				}
+				row++
+			}
 		}
 	}
 }

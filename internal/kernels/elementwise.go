@@ -80,6 +80,16 @@ func registerArith(name string, fop func(a, b float32) float32, iop func(a, b in
 			return nil, err
 		}
 		x, y := in[0], in[1]
+		// Weight-only quantization can surface a packed operand here
+		// (a quantized scale/bias table): the same-shape case runs the
+		// fused row-wise dequant loop, anything else unpacks.
+		if y.DType.IsQuantized() && x.DType == tensor.Float32 && tensor.SameShape(x.Shape, y.Shape) {
+			return []*tensor.Tensor{binQuantRowwise(fop, x, y)}, nil
+		}
+		if x.DType.IsQuantized() && y.DType == tensor.Float32 && tensor.SameShape(x.Shape, y.Shape) {
+			return []*tensor.Tensor{binQuantRowwise(func(a, b float32) float32 { return fop(b, a) }, y, x)}, nil
+		}
+		x, y = dequantIfNeeded(x), dequantIfNeeded(y)
 		switch {
 		case x.DType == tensor.Float32 && y.DType == tensor.Float32:
 			out, err := binFBudget(fop, threads)(x, y)

@@ -157,6 +157,12 @@ func matmulKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Te
 	}
 	outShape := append(append([]int64{}, batch...), m, nn)
 	out := tensor.New(tensor.Float32, outShape...)
+	if b.DType.IsQuantized() {
+		if err := matmulQuant(a, b, m, k, nn, out, threads); err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{out}, nil
+	}
 	variant := GemmVariant(n.AttrInt("variant", int64(GemmTiledRegular)))
 	if v := n.AttrInt("auto_variant", 0); v != 0 {
 		variant = SelectGemmVariant(m, k, nn)
@@ -186,7 +192,10 @@ func gemmKernel(n *graph.Node, in []*tensor.Tensor, threads int) ([]*tensor.Tens
 	if err := wantInputs(in, 2, "Gemm"); err != nil {
 		return nil, err
 	}
-	a, b := in[0], in[1]
+	// Gemm's transpose attributes make a fused packed path unattractive;
+	// quantized operands (rare here — MVC routes weights at MatMul/Conv)
+	// unpack up front.
+	a, b := dequantIfNeeded(in[0]), dequantIfNeeded(in[1])
 	alpha := float32(n.AttrFloat("alpha", 1))
 	beta := float32(n.AttrFloat("beta", 1))
 	transA := n.AttrInt("transA", 0) != 0

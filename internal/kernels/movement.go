@@ -272,10 +272,30 @@ func gatherKernel(n *graph.Node, in []*tensor.Tensor) ([]*tensor.Tensor, error) 
 	outShape := append([]int64{}, data.Shape[:axis]...)
 	outShape = append(outShape, indices.Shape...)
 	outShape = append(outShape, data.Shape[axis+1:]...)
-	out := tensor.New(data.DType, outShape...)
 	outer := tensor.NumElems(data.Shape[:axis])
 	axisLen := data.Shape[axis]
 	inner := tensor.NumElems(data.Shape[axis+1:])
+	if data.Q != nil {
+		// Embedding-table path: the table is quantized one storage row
+		// per axis-0 entry, so each lookup dequantizes its row straight
+		// into the float32 output — the table is never unpacked whole.
+		if axis == 0 && data.Q.Rows == axisLen && data.Q.Cols == inner {
+			out := tensor.New(tensor.Float32, outShape...)
+			for ii := int64(0); ii < indices.Len(); ii++ {
+				idx := indices.I[ii]
+				if idx < 0 {
+					idx += axisLen
+				}
+				if idx < 0 || idx >= axisLen {
+					return nil, fmt.Errorf("Gather: index %d out of range [0,%d)", idx, axisLen)
+				}
+				data.Q.DequantRow(idx, out.F[ii*inner:(ii+1)*inner])
+			}
+			return []*tensor.Tensor{out}, nil
+		}
+		data = data.Dequantize()
+	}
+	out := tensor.New(data.DType, outShape...)
 	nIdx := indices.Len()
 	for o := int64(0); o < outer; o++ {
 		for ii := int64(0); ii < nIdx; ii++ {

@@ -1,0 +1,111 @@
+package mvc
+
+import (
+	"repro/internal/tensor"
+)
+
+// The dtype axis of multi-version code generation. BuildPlan and
+// BuildPlanRegion enumerate the shape-regime axis; WidenDTypes crosses
+// it with the weight storage formats the compiler actually installed,
+// so each hotspot carries one tuned version per (regime × dtype) pair.
+// Float32 versions are always retained — they are the fallback tier the
+// guard drops to on an accuracy-contract violation.
+
+// quantEfficiency models the packed variant's speedup over the same
+// regime's float schedule. The win is weight-stream bandwidth, so it is
+// largest where the kernel is memory-bound (skinny/GEMV-like regimes
+// re-read little and stream the whole weight; tiny shapes fit in cache
+// and only pay the unpack). Factors are calibrated against the
+// package's testing.B suite on the evaluation shapes.
+func quantEfficiency(r Regime, dt tensor.DType) float64 {
+	if !dt.IsQuantized() {
+		return 1.0
+	}
+	var base float64
+	switch r {
+	case RegimeSkinny:
+		base = 1.5
+	case RegimeFat:
+		base = 1.2
+	case RegimeRegular:
+		base = 1.15
+	default: // tiny: unpack overhead eats the bandwidth win
+		base = 1.0
+	}
+	if dt == tensor.Q4_0 || dt == tensor.Q4_1 {
+		// Half the bytes of int8 again, minus nibble-decode cost.
+		base *= 1.03
+	}
+	return base
+}
+
+// WidenDTypes crosses every hotspot's regime versions with the given
+// quantized formats, appending one tuned version per (regime, format)
+// and updating the plan's version count. Float32 entries are kept;
+// passing no formats (or only Float32) is a no-op.
+func (p *Plan) WidenDTypes(formats []tensor.DType) {
+	var quant []tensor.DType
+	for _, dt := range formats {
+		if dt.IsQuantized() {
+			quant = append(quant, dt)
+		}
+	}
+	if len(quant) == 0 {
+		return
+	}
+	for i := range p.Hotspots {
+		h := &p.Hotspots[i]
+		base := h.Versions
+		for _, dt := range quant {
+			for _, v := range base {
+				if v.DType != tensor.Float32 {
+					continue
+				}
+				qv := v
+				qv.DType = dt
+				qv.Efficiency = v.Efficiency * quantEfficiency(v.Regime, dt)
+				h.Versions = append(h.Versions, qv)
+				p.TotalVersions++
+			}
+		}
+	}
+}
+
+// SelectVersionDType picks the version covering a concrete shape in the
+// requested storage format, falling back to the float version for that
+// regime when no packed variant was generated (e.g. a weight below the
+// quantization threshold stayed f32).
+func (nv *NodeVersions) SelectVersionDType(m, n int64, dt tensor.DType) Version {
+	want := RegimeOf(m, n)
+	var floatMatch *Version
+	for i := range nv.Versions {
+		v := &nv.Versions[i]
+		if v.Regime != want {
+			continue
+		}
+		if v.DType == dt {
+			return *v
+		}
+		if v.DType == tensor.Float32 && floatMatch == nil {
+			floatMatch = v
+		}
+	}
+	if floatMatch != nil {
+		return *floatMatch
+	}
+	return nv.SelectVersion(m, n)
+}
+
+// DTypes lists the distinct storage formats a hotspot's version set
+// covers, in first-appearance order.
+func (nv *NodeVersions) DTypes() []tensor.DType {
+	seen := map[tensor.DType]bool{}
+	var out []tensor.DType
+	for _, v := range nv.Versions {
+		if !seen[v.DType] {
+			seen[v.DType] = true
+			out = append(out, v.DType)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package mvc
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestWidenDTypesCrossesRegimes(t *testing.T) {
+	nv := NodeVersions{PossibleRegimes: []Regime{RegimeSkinny, RegimeRegular}}
+	for _, r := range nv.PossibleRegimes {
+		nv.Versions = append(nv.Versions, TuneRegime(r))
+	}
+	p := &Plan{Hotspots: []NodeVersions{nv}, TotalVersions: len(nv.Versions)}
+	p.WidenDTypes([]tensor.DType{tensor.Int8, tensor.Q4_0})
+	h := p.Hotspots[0]
+	if len(h.Versions) != 6 {
+		t.Fatalf("2 regimes x 3 dtypes: got %d versions", len(h.Versions))
+	}
+	if p.TotalVersions != 6 {
+		t.Fatalf("TotalVersions %d, want 6", p.TotalVersions)
+	}
+	dts := h.DTypes()
+	if len(dts) != 3 || dts[0] != tensor.Float32 {
+		t.Fatalf("DTypes %v", dts)
+	}
+	// Widening twice with the same format must not duplicate (the
+	// second pass only crosses Float32 bases with already-present pairs
+	// — guard via idempotence check).
+	before := len(h.Versions)
+	p.WidenDTypes(nil)
+	p.WidenDTypes([]tensor.DType{tensor.Float32})
+	if len(p.Hotspots[0].Versions) != before {
+		t.Fatal("no-op widen changed the version set")
+	}
+}
+
+func TestQuantVersionEfficiencyOrdering(t *testing.T) {
+	for _, r := range []Regime{RegimeSkinny, RegimeFat, RegimeRegular} {
+		base := TuneRegime(r)
+		q := base
+		q.DType = tensor.Int8
+		q.Efficiency = base.Efficiency * quantEfficiency(r, tensor.Int8)
+		if q.Efficiency <= base.Efficiency {
+			t.Fatalf("%s: int8 version efficiency %.3f not above f32 %.3f", r, q.Efficiency, base.Efficiency)
+		}
+	}
+	tiny := TuneRegime(RegimeTiny)
+	if e := tiny.Efficiency * quantEfficiency(RegimeTiny, tensor.Int8); e != tiny.Efficiency {
+		t.Fatal("tiny regime must not be credited a bandwidth win")
+	}
+}
+
+func TestSelectVersionDType(t *testing.T) {
+	nv := NodeVersions{PossibleRegimes: []Regime{RegimeRegular}}
+	nv.Versions = append(nv.Versions, TuneRegime(RegimeRegular))
+	p := &Plan{Hotspots: []NodeVersions{nv}, TotalVersions: 1}
+	p.WidenDTypes([]tensor.DType{tensor.Q4_1})
+	h := p.Hotspots[0]
+	got := h.SelectVersionDType(100, 100, tensor.Q4_1)
+	if got.DType != tensor.Q4_1 || got.Regime != RegimeRegular {
+		t.Fatalf("selected %v/%s", got.Regime, got.DType)
+	}
+	// Unwidened format falls back to the float version of the regime.
+	got = h.SelectVersionDType(100, 100, tensor.Int8)
+	if got.DType != tensor.Float32 {
+		t.Fatalf("fallback selected %s, want float32", got.DType)
+	}
+}

@@ -56,9 +56,14 @@ func RegimeOf(m, n int64) Regime {
 	}
 }
 
-// Version is one generated code version of a hotspot kernel.
+// Version is one generated code version of a hotspot kernel. Versions
+// span two dimensions: the shape regime and the weight storage dtype
+// (Float32, or a quantized format whose packed variant streams fewer
+// weight bytes). The zero DType is Float32, so regime-only call sites
+// keep their meaning.
 type Version struct {
 	Regime  Regime
+	DType   tensor.DType
 	Gemm    kernels.GemmVariant
 	Tile    int
 	Unroll  int

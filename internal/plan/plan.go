@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dtypes"
 	"repro/internal/fusion"
 	"repro/internal/graph"
 	"repro/internal/lattice"
@@ -145,20 +146,24 @@ func nominalEnv(infos map[string]lattice.Info) symbolic.Env {
 	return env
 }
 
-// valueSizes estimates the materialized byte size of every value.
+// valueSizes estimates the materialized byte size of every value,
+// charging each value its inferred element width (int64 shape tensors
+// cost 8 bytes/elem, bool masks 1) so live-byte caps and Pareto frontier
+// points account the same bytes the runtime actually holds.
 func valueSizes(g *graph.Graph, infos map[string]lattice.Info, env symbolic.Env, fp *fusion.Plan) map[string]int64 {
+	dts := dtypes.Infer(g)
 	sizes := map[string]int64{}
 	for name, info := range infos {
 		if fp != nil && fp.Internal[name] {
 			sizes[name] = 0
 			continue
 		}
-		sizes[name] = sizeUnder(info.Shape, env)
+		sizes[name] = sizeUnder(info.Shape, env, dts.SizeOf(name))
 	}
 	return sizes
 }
 
-func sizeUnder(s lattice.Shape, env symbolic.Env) int64 {
+func sizeUnder(s lattice.Shape, env symbolic.Env, elemSize int64) int64 {
 	if s.Kind != lattice.ShapeRanked {
 		return 0
 	}
@@ -173,7 +178,7 @@ func sizeUnder(s lattice.Shape, env symbolic.Env) int64 {
 		}
 		n *= v
 	}
-	return n * 4
+	return n * elemSize
 }
 
 func hasNAC(g *graph.Graph, infos map[string]lattice.Info) bool {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/dtypes"
 	"repro/internal/graph"
 	"repro/internal/lattice"
 	"repro/internal/memplan"
@@ -146,7 +147,11 @@ func ProveMemory(g *graph.Graph, infos map[string]lattice.Info, order []*graph.N
 
 	// Worst-case placement program: the same step structure the per-shape
 	// planner builds, with each placed buffer sized at its region upper
-	// bound.
+	// bound. Like the runtime planner, only values inferred float32 are
+	// placed — the arena never holds int64/bool/quantized tensors, so
+	// excluding them here keeps the proof's program identical to the one
+	// the runtime validates against.
+	dts := dtypes.Infer(g)
 	keep := make(map[string]bool, len(g.Outputs))
 	for _, o := range g.Outputs {
 		keep[o] = true
@@ -156,7 +161,7 @@ func ProveMemory(g *graph.Graph, infos map[string]lattice.Info, order []*graph.N
 		var st memplan.StepSpec
 		if !controlFlowOp(n.OpType) {
 			for _, o := range n.Outputs {
-				if o == "" {
+				if o == "" || !dts.IsFloat(o) {
 					continue
 				}
 				size, reason := worstCaseBytes(infos[o].Shape, inSyms, ivEnv)

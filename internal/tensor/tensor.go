@@ -19,6 +19,13 @@ const (
 	Int64
 	// Bool is used for masks and control-flow predicates.
 	Bool
+	// Int8 is weight-only quantized storage with a per-row scale.
+	Int8
+	// Q4_0 is 4-bit block-quantized storage: 32-element blocks with a
+	// per-block scale (symmetric, nibble 8 = zero).
+	Q4_0
+	// Q4_1 is 4-bit block-quantized storage with per-block scale + min.
+	Q4_1
 )
 
 func (d DType) String() string {
@@ -29,12 +36,21 @@ func (d DType) String() string {
 		return "int64"
 	case Bool:
 		return "bool"
+	case Int8:
+		return "int8"
+	case Q4_0:
+		return "q4_0"
+	case Q4_1:
+		return "q4_1"
 	default:
 		return fmt.Sprintf("dtype(%d)", uint8(d))
 	}
 }
 
-// Size returns the byte width of one element.
+// Size returns the byte width of one element. The quantized formats
+// report a conservative 1-byte ceiling (Q4 packs two elements per byte
+// plus scale tables); exact accounting always goes through
+// Tensor.Bytes, which reads the packed payload size.
 func (d DType) Size() int64 {
 	switch d {
 	case Float32:
@@ -43,19 +59,24 @@ func (d DType) Size() int64 {
 		return 8
 	case Bool:
 		return 1
+	case Int8, Q4_0, Q4_1:
+		return 1
 	default:
 		return 0
 	}
 }
 
-// Tensor is a dense row-major tensor. Exactly one of F, I, B is non-nil
-// according to DType. A rank-0 tensor has an empty Shape and one element.
+// Tensor is a dense row-major tensor. Exactly one of F, I, B, Q is
+// non-nil according to DType (Q for the quantized weight formats; the
+// logical Shape stays the float shape). A rank-0 tensor has an empty
+// Shape and one element.
 type Tensor struct {
 	DType DType
 	Shape []int64
 	F     []float32
 	I     []int64
 	B     []bool
+	Q     *QuantData
 }
 
 // NumElems returns the product of dims (1 for scalars).
@@ -118,8 +139,14 @@ func ScalarBool(v bool) *Tensor { return FromBools(nil, []bool{v}) }
 // Len returns the number of elements.
 func (t *Tensor) Len() int64 { return NumElems(t.Shape) }
 
-// Bytes returns the payload size in bytes.
-func (t *Tensor) Bytes() int64 { return t.Len() * t.DType.Size() }
+// Bytes returns the payload size in bytes. Quantized tensors report
+// their packed size (data plus scale/min tables), not the float size.
+func (t *Tensor) Bytes() int64 {
+	if t.Q != nil {
+		return t.Q.Bytes()
+	}
+	return t.Len() * t.DType.Size()
+}
 
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.Shape) }
@@ -134,6 +161,8 @@ func (t *Tensor) Clone() *Tensor {
 		c.I = append([]int64(nil), t.I...)
 	case Bool:
 		c.B = append([]bool(nil), t.B...)
+	case Int8, Q4_0, Q4_1:
+		c.Q = t.Q.clone()
 	}
 	return c
 }
@@ -143,7 +172,7 @@ func (t *Tensor) Reshaped(shape []int64) *Tensor {
 	if NumElems(shape) != t.Len() {
 		panic(fmt.Sprintf("tensor: reshape %v -> %v", t.Shape, shape))
 	}
-	return &Tensor{DType: t.DType, Shape: append([]int64(nil), shape...), F: t.F, I: t.I, B: t.B}
+	return &Tensor{DType: t.DType, Shape: append([]int64(nil), shape...), F: t.F, I: t.I, B: t.B, Q: t.Q}
 }
 
 // Strides returns row-major strides for shape.

@@ -81,10 +81,23 @@ type (
 	ContractError = guard.ContractError
 	// Degradation records one guarded-execution fallback.
 	Degradation = guard.Degradation
-	// Tier identifies an execution tier (planned / dynamic / replan).
+	// Tier identifies an execution tier (planned / dynamic / replan /
+	// float32).
 	Tier = guard.Tier
 	// Fact is one analyzed input property (range or divisibility).
 	Fact = guard.Fact
+
+	// DType is a tensor element/storage type, including the packed
+	// quantized formats (Int8, Q4_0, Q4_1).
+	DType = tensor.DType
+	// QuantConfig selects weight-only quantized storage for a compile
+	// (SchedConfig.Quant).
+	QuantConfig = frameworks.QuantConfig
+	// QuantReport describes the quantization pass a compile applied.
+	QuantReport = frameworks.QuantReport
+	// QuantBudget is a model's accuracy-drift contract for quantized
+	// serving.
+	QuantBudget = guard.QuantBudget
 
 	// VerifyReport is the static plan verifier's result: execution-plan,
 	// liveness, and region-wide memory-plan proofs plus lint diagnostics.
@@ -128,6 +141,9 @@ var (
 	TierPlanned = guard.TierPlanned
 	TierDynamic = guard.TierDynamic
 	TierReplan  = guard.TierReplan
+	// TierFloat32 serves a request with the original float32 weights
+	// after a quantized run violated its accuracy-drift contract.
+	TierFloat32 = guard.TierFloat32
 	// ErrPanic marks a contained kernel panic (wrapped in *OpError).
 	ErrPanic = guard.ErrPanic
 	// ErrContract matches any ContractError.
@@ -137,6 +153,18 @@ var (
 	// ErrOverloaded matches any admission shed (errors.Is).
 	ErrOverloaded = resilience.ErrOverloaded
 )
+
+// Tensor storage formats, including the block-quantized weight formats.
+const (
+	Float32 = tensor.Float32
+	Int8    = tensor.Int8
+	Q4_0    = tensor.Q4_0
+	Q4_1    = tensor.Q4_1
+)
+
+// DTypeByName resolves a storage-format name ("float32", "int8",
+// "q4_0", "q4_1") to its DType.
+var DTypeByName = tensor.DTypeByName
 
 // Device profiles used throughout the evaluation.
 var (
@@ -274,6 +302,14 @@ func CompileVerified(b *ModelBuilder) (*Compiled, *VerifyReport, error) {
 // Verify runs (and memoizes) the static plan verifier over the compiled
 // model, enabling the shape-family serving path when the proofs succeed.
 func (c *Compiled) Verify() *VerifyReport { return c.inner.Verify() }
+
+// Quant reports the weight-quantization pass this compile applied, or
+// nil for a float32 compile.
+func (c *Compiled) Quant() *QuantReport { return c.inner.Quant }
+
+// WeightBytes sums the storage of every model weight as compiled
+// (packed bytes for quantized weights, including scale/min tables).
+func (c *Compiled) WeightBytes() int64 { return c.inner.WeightBytes() }
 
 // FamilyKey returns the shape-family bucket key for one concrete input
 // set (see Session.FamilyKey): the statically proven region key when
